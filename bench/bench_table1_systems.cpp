@@ -1,0 +1,36 @@
+// Table I reproduction: the systems used for the experiments.
+//
+// The paper ran on two dedicated hosts (Threadripper 2950X + RTX 4090; Xeon
+// 6226R + A100). Those are substituted by whatever host runs this harness
+// (DESIGN.md §1): this binary prints the actual host configuration next to
+// the paper's Table I so EXPERIMENTS.md can record the mapping. The GPU rows
+// are reported as "simulated" — the CUDA algorithm runs in src/sim.
+#include <omp.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+
+int main() {
+  std::printf("# Table I: systems used for experiments\n");
+  std::printf("property,paper_system1,paper_system2,this_host\n");
+
+  std::string model = "unknown";
+  std::ifstream cpuinfo("/proc/cpuinfo");
+  for (std::string line; std::getline(cpuinfo, line);) {
+    if (line.rfind("model name", 0) == 0) {
+      model = line.substr(line.find(':') + 2);
+      break;
+    }
+  }
+  unsigned threads = std::thread::hardware_concurrency();
+  std::printf("CPU,Threadripper 2950X,Xeon Gold 6226R,%s\n", model.c_str());
+  std::printf("HW threads,32,64,%u\n", threads);
+  std::printf("OMP max threads,32,64,%d\n", omp_get_max_threads());
+  std::printf("GPU,RTX 4090,A100,simulated (src/sim functional CUDA model)\n");
+  std::printf("Compiler,g++ 12.2.1,g++ 12.2.1,g++ %d.%d.%d\n", __GNUC__, __GNUC_MINOR__,
+              __GNUC_PATCHLEVEL__);
+  std::printf("FP flags,-O3 -march=native,-O3 -march=native,-O3 -ffp-contract=off\n");
+  return 0;
+}

@@ -1,0 +1,162 @@
+#include "harness.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+#include "baselines/registry.hpp"
+#include "common/timer.hpp"
+#include "metrics/error_stats.hpp"
+
+namespace repro::bench {
+namespace {
+
+bool contains(const std::vector<std::string>& v, const std::string& s) {
+  return std::find(v.begin(), v.end(), s) != v.end();
+}
+
+struct FileResult {
+  double ratio = 0, comp_mbps = 0, decomp_mbps = 0, psnr = 0;
+  std::size_t violations = 0;
+  bool ok = false;
+};
+
+FileResult measure_file(const Compressor& c, const data::SyntheticFile& f, double eps,
+                        EbType eb, int runs) {
+  FileResult r;
+  Field field = f.field();
+  try {
+    Bytes stream;
+    double tc = median_runtime([&] { stream = c.compress(field, eps, eb); }, runs);
+    std::vector<u8> raw;
+    double td = median_runtime([&] { raw = c.decompress(stream); }, runs);
+    r.ratio = metrics::compression_ratio(field.byte_size(), stream.size());
+    r.comp_mbps = throughput_mbps(field.byte_size(), tc);
+    r.decomp_mbps = throughput_mbps(field.byte_size(), td);
+    if (f.dtype == DType::F32) {
+      std::vector<float> back(raw.size() / 4);
+      std::memcpy(back.data(), raw.data(), raw.size());
+      auto st = metrics::compute_stats(std::span<const float>(f.f32),
+                                       std::span<const float>(back));
+      r.psnr = st.psnr;
+      r.violations = metrics::count_violations(std::span<const float>(f.f32),
+                                               std::span<const float>(back), eps, eb);
+    } else {
+      std::vector<double> back(raw.size() / 8);
+      std::memcpy(back.data(), raw.data(), raw.size());
+      auto st = metrics::compute_stats(std::span<const double>(f.f64),
+                                       std::span<const double>(back));
+      r.psnr = st.psnr;
+      r.violations = metrics::count_violations(std::span<const double>(f.f64),
+                                               std::span<const double>(back), eps, eb);
+    }
+    r.ok = true;
+  } catch (const CompressionError&) {
+    r.ok = false;  // unsupported input shape etc.: skip, as the paper skips
+  }
+  return r;
+}
+
+}  // namespace
+
+SweepConfig parse_args(int argc, char** argv, SweepConfig cfg) {
+  for (int i = 1; i < argc; ++i) {
+    std::string a = argv[i];
+    auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : "0"; };
+    if (a == "--target") cfg.target_values = std::strtoull(next(), nullptr, 10);
+    else if (a == "--files") cfg.max_files = std::atoi(next());
+    else if (a == "--runs") cfg.runs = std::atoi(next());
+    else if (a == "--full") {
+      cfg.runs = 9;
+      cfg.target_values = 1 << 20;
+      cfg.max_files = 4;
+    }
+  }
+  return cfg;
+}
+
+std::vector<Row> run_sweep(const SweepConfig& cfg) {
+  // Generate matching suites once.
+  std::vector<data::Suite> suites;
+  for (const auto& spec : data::paper_suites()) {
+    if (spec.dtype != cfg.dtype) continue;
+    if (cfg.exclude_non_3d && (spec.kind == "exaalt" || spec.kind == "hacc")) continue;
+    suites.push_back(data::generate(spec, cfg.target_values, cfg.max_files));
+  }
+
+  std::vector<Row> rows;
+  for (const auto& comp : baselines::all_compressors()) {
+    Features feat = comp->features();
+    if (!feat.supports(cfg.eb)) continue;
+    if (cfg.dtype == DType::F32 && !feat.f32) continue;
+    if (cfg.dtype == DType::F64 && !feat.f64) continue;
+    if (contains(cfg.exclude_compressors, comp->name())) continue;
+    if (!cfg.only_compressors.empty() && !contains(cfg.only_compressors, comp->name()))
+      continue;
+    for (double eps : cfg.bounds) {
+      std::vector<double> suite_ratio, suite_comp, suite_decomp, suite_psnr;
+      std::size_t violations = 0;
+      for (const auto& suite : suites) {
+        std::vector<double> fr, fc, fd, fp;
+        for (const auto& file : suite.files) {
+          FileResult r = measure_file(*comp, file, eps, cfg.eb, cfg.runs);
+          if (!r.ok) continue;
+          fr.push_back(r.ratio);
+          fc.push_back(r.comp_mbps);
+          fd.push_back(r.decomp_mbps);
+          if (std::isfinite(r.psnr)) fp.push_back(r.psnr);
+          violations += r.violations;
+        }
+        if (fr.empty()) continue;
+        suite_ratio.push_back(metrics::geomean(fr));
+        suite_comp.push_back(metrics::geomean(fc));
+        suite_decomp.push_back(metrics::geomean(fd));
+        if (!fp.empty()) suite_psnr.push_back(metrics::geomean(fp));
+      }
+      if (suite_ratio.empty()) continue;
+      Row row;
+      row.compressor = comp->name();
+      row.eb = eps;
+      row.ratio = metrics::geomean(suite_ratio);
+      row.comp_mbps = metrics::geomean(suite_comp);
+      row.decomp_mbps = metrics::geomean(suite_decomp);
+      row.psnr_db = metrics::geomean(suite_psnr);
+      row.violations = violations;
+      rows.push_back(row);
+    }
+  }
+  mark_pareto(rows);
+  return rows;
+}
+
+void mark_pareto(std::vector<Row>& rows) {
+  for (Row& r : rows) {
+    bool dom_c = false, dom_d = false;
+    for (const Row& o : rows) {
+      if (&o == &r || o.eb != r.eb) continue;
+      if (o.ratio >= r.ratio && o.comp_mbps >= r.comp_mbps &&
+          (o.ratio > r.ratio || o.comp_mbps > r.comp_mbps))
+        dom_c = true;
+      if (o.ratio >= r.ratio && o.decomp_mbps >= r.decomp_mbps &&
+          (o.ratio > r.ratio || o.decomp_mbps > r.decomp_mbps))
+        dom_d = true;
+    }
+    r.pareto_compress = !dom_c;
+    r.pareto_decompress = !dom_d;
+  }
+}
+
+void print_rows(const std::string& figure, const std::vector<Row>& rows) {
+  std::printf("# %s\n", figure.c_str());
+  std::printf(
+      "figure,compressor,eb,ratio,comp_MBps,decomp_MBps,psnr_dB,violations,"
+      "pareto_comp,pareto_decomp\n");
+  for (const Row& r : rows)
+    std::printf("%s,%s,%g,%.3f,%.2f,%.2f,%.2f,%zu,%d,%d\n", figure.c_str(),
+                r.compressor.c_str(), r.eb, r.ratio, r.comp_mbps, r.decomp_mbps, r.psnr_db,
+                r.violations, r.pareto_compress ? 1 : 0, r.pareto_decompress ? 1 : 0);
+  std::printf("\n");
+}
+
+}  // namespace repro::bench

@@ -1,0 +1,58 @@
+// Shared benchmark harness: reproduces the paper's measurement protocol
+// (Section IV) — median-of-N runs of the compression/decompression functions
+// only, geometric mean of per-suite geometric means, compressors excluded
+// per-figure the way the paper excludes them, Pareto-front marking.
+//
+// Every figure bench prints CSV-style rows:
+//   figure, compressor, device, eb, ratio, comp_MBps, decomp_MBps, psnr_db, violations
+// which are the same series the paper plots.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/compressor.hpp"
+#include "data/synthetic.hpp"
+
+namespace repro::bench {
+
+struct SweepConfig {
+  std::vector<double> bounds{1e-1, 1e-2, 1e-3, 1e-4};  // paper's 4 bounds
+  EbType eb = EbType::ABS;
+  DType dtype = DType::F32;
+  bool exclude_non_3d = false;  ///< the paper's EXAALT/HACC exclusion
+  std::vector<std::string> exclude_compressors;
+  std::vector<std::string> only_compressors;  ///< empty = all supporting eb
+  std::size_t target_values = 1 << 16;        ///< per generated file
+  int max_files = 2;                          ///< per suite
+  int runs = 3;  ///< medians over this many runs (paper: 9)
+};
+
+/// Parse common CLI flags: --target N --files N --runs N --full (paper-scale
+/// protocol: runs=9, larger inputs).
+SweepConfig parse_args(int argc, char** argv, SweepConfig base);
+
+struct Row {
+  std::string compressor;
+  double eb = 0;
+  double ratio = 0;        ///< geo-mean over suites of per-suite geo-means
+  double comp_mbps = 0;    ///< uncompressed MB / s
+  double decomp_mbps = 0;
+  double psnr_db = 0;
+  std::size_t violations = 0;  ///< total bound violations observed
+  bool pareto_compress = false;
+  bool pareto_decompress = false;
+};
+
+/// Run the full sweep: every registered compressor that supports the
+/// figure's bound type and dtype, over the matching suites, at each bound.
+std::vector<Row> run_sweep(const SweepConfig& cfg);
+
+/// Mark Pareto-optimal rows per bound (ratio vs. throughput, both
+/// higher-is-better), mirroring the paper's light-blue Pareto fronts.
+void mark_pareto(std::vector<Row>& rows);
+
+/// Print the rows under a figure banner.
+void print_rows(const std::string& figure, const std::vector<Row>& rows);
+
+}  // namespace repro::bench

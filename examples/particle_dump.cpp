@@ -1,0 +1,52 @@
+// Cosmology particle dumps with relative error bounds — the HACC-style
+// workload (Table II): per-particle positions and velocities written every
+// few steps, where small velocities near zero must keep high precision
+// (Section II-B motivates REL for exactly this).
+//
+//   build/examples/particle_dump
+//
+// Compares ABS vs REL on the same velocity data: ABS loses all detail of the
+// slow particles; REL preserves every particle to within 0.1% of its own
+// magnitude — the reason REL support (with a guarantee) matters.
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "core/pfpl.hpp"
+#include "data/rng.hpp"
+#include "metrics/error_stats.hpp"
+
+using namespace repro;
+
+int main() {
+  // Velocities: most particles slow (cluster members), a hot tail.
+  data::Rng rng(99);
+  std::vector<float> vel(1 << 20);
+  for (auto& v : vel) {
+    double speed = rng.uniform() < 0.8 ? 0.3 : 300.0;
+    v = static_cast<float>(speed * rng.gaussian());
+  }
+
+  const double eps = 1e-3;
+  for (EbType eb : {EbType::ABS, EbType::REL}) {
+    Bytes c = pfpl::compress(Field(vel.data(), vel.size()), {.eps = eps, .eb = eb});
+    auto back = pfpl::decompress_as<float>(c);
+    // How well did the slow particles survive?
+    double worst_slow_rel = 0;
+    std::size_t slow = 0;
+    for (std::size_t i = 0; i < vel.size(); ++i) {
+      if (std::abs(vel[i]) > 1.0f || vel[i] == 0.0f) continue;
+      ++slow;
+      worst_slow_rel = std::max(
+          worst_slow_rel, std::abs(static_cast<double>(vel[i]) - back[i]) / std::abs(vel[i]));
+    }
+    std::size_t violations = metrics::count_violations(
+        std::span<const float>(vel), std::span<const float>(back), eps, eb);
+    std::printf("%s eps=%g: ratio %6.2fx, slow particles (%zu) worst rel err %.3g, %s\n",
+                to_string(eb), eps,
+                metrics::compression_ratio(vel.size() * 4, c.size()), slow, worst_slow_rel,
+                violations == 0 ? "bound guaranteed" : "BOUND VIOLATED");
+  }
+  std::printf("\nABS flattens slow particles to the bin grid; REL keeps each one to ~0.1%%.\n");
+  return 0;
+}

@@ -1,0 +1,121 @@
+#include "baselines/cuszp_like.hpp"
+
+#include <cmath>
+
+#include "baselines/sz_common.hpp"
+#include "lossless/bitio.hpp"
+
+namespace repro::baselines {
+namespace {
+
+constexpr u32 kMagic = 0x505A5543u;  // "CUZP"
+constexpr std::size_t kBlock = 32;   // values per thread-block unit in cuSZp
+
+inline u32 zigzag(i32 v) { return (static_cast<u32>(v) << 1) ^ static_cast<u32>(v >> 31); }
+inline i32 unzigzag(u32 u) { return static_cast<i32>((u >> 1) ^ (~(u & 1) + 1)); }
+
+/// The flawed prequantization: the bin index is computed in double but then
+/// *wrapped* into 32 bits, exactly the overflow the paper calls out. Values
+/// whose bin exceeds the i32 range decode to something unrelated — a "major
+/// error-bound violation".
+template <typename T>
+i32 prequant(T v, double recip) {
+  double q = std::nearbyint(static_cast<double>(v) * recip);
+  if (!std::isfinite(q)) q = 0.0;
+  return static_cast<i32>(static_cast<u32>(static_cast<i64>(q)));  // wraps
+}
+
+template <typename T>
+Bytes compress_typed(const Field& in, double eps, EbType eb) {
+  auto d = in.as<T>();
+  BaselineHeader h;
+  h.magic = kMagic;
+  h.dtype = in.dtype;
+  h.eb = eb;
+  h.eps = eps;
+  h.count = d.size();
+  for (int i = 0; i < 3; ++i) h.dims[i] = in.dims[i];
+  if (eb == EbType::REL) throw CompressionError("cuSZp does not support REL bounds");
+  double abs_eps = eb == EbType::NOA ? noa_to_abs(d, eps) : eps;
+  if (!(abs_eps > 0)) abs_eps = 1e-300;  // degenerate range: effectively lossless bins
+  h.derived = abs_eps;
+  const double recip = 0.5 / abs_eps;
+
+  const std::size_t n = d.size();
+  const std::size_t nblocks = (n + kBlock - 1) / kBlock;
+  // Quantize + block-local Lorenzo; then pack each block with its own fixed
+  // length (cuSZp's fixed-length encoding via bit shuffle).
+  Bytes out;
+  write_bheader(h, out);
+  std::vector<u8> bitmap((nblocks + 7) / 8, 0);
+  Bytes body;
+  lossless::BitWriter bw(body);
+  for (std::size_t b = 0; b < nblocks; ++b) {
+    std::size_t beg = b * kBlock;
+    std::size_t len = std::min(kBlock, n - beg);
+    u32 zz[kBlock] = {};
+    u32 any = 0;
+    i32 prev = 0;
+    for (std::size_t i = 0; i < len; ++i) {
+      i32 q = prequant(d[beg + i], recip);
+      zz[i] = zigzag(q - prev);
+      prev = q;
+      any |= zz[i];
+    }
+    if (!any) continue;  // all-zero block: bitmap bit stays clear
+    bitmap[b >> 3] |= static_cast<u8>(1u << (b & 7));
+    unsigned width = 32 - static_cast<unsigned>(__builtin_clz(any));
+    bw.put(width - 1, 5);
+    for (std::size_t i = 0; i < len; ++i) bw.put(zz[i], width);
+  }
+  bw.flush();
+  out.insert(out.end(), bitmap.begin(), bitmap.end());
+  out.insert(out.end(), body.begin(), body.end());
+  return out;
+}
+
+template <typename T>
+std::vector<u8> decompress_typed(const Bytes& in, const BaselineHeader& h) {
+  const std::size_t n = h.count;
+  const std::size_t nblocks = (n + kBlock - 1) / kBlock;
+  const std::size_t bitmap_size = (nblocks + 7) / 8;
+  std::size_t pos = sizeof(BaselineHeader);
+  if (pos + bitmap_size > in.size()) throw CompressionError("cuszp: truncated bitmap");
+  const u8* bitmap = in.data() + pos;
+  pos += bitmap_size;
+  lossless::BitReader br(in.data() + pos, in.size() - pos);
+  const double two_eps = 2.0 * h.derived;
+  std::vector<u8> out(n * sizeof(T));
+  T* values = reinterpret_cast<T*>(out.data());
+  for (std::size_t b = 0; b < nblocks; ++b) {
+    std::size_t beg = b * kBlock;
+    std::size_t len = std::min(kBlock, n - beg);
+    i32 prev = 0;
+    bool nonzero = (bitmap[b >> 3] >> (b & 7)) & 1u;
+    unsigned width = 0;
+    if (nonzero) width = static_cast<unsigned>(br.get(5)) + 1;
+    for (std::size_t i = 0; i < len; ++i) {
+      i32 q = prev;
+      if (nonzero) q += unzigzag(static_cast<u32>(br.get(width)));
+      prev = q;
+      values[beg + i] = static_cast<T>(static_cast<double>(q) * two_eps);
+    }
+  }
+  if (br.truncated()) throw CompressionError("cuszp: truncated stream");
+  return out;
+}
+
+}  // namespace
+
+Bytes CuszpLikeCompressor::compress(const Field& in, double eps, EbType eb) const {
+  if (in.dtype == DType::F32) return compress_typed<float>(in, eps, eb);
+  return compress_typed<double>(in, eps, eb);
+}
+
+std::vector<u8> CuszpLikeCompressor::decompress(const Bytes& stream) const {
+  BaselineHeader h = read_bheader(stream, kMagic);
+  if (h.dtype == DType::F32) return decompress_typed<float>(stream, h);
+  return decompress_typed<double>(stream, h);
+}
+
+}  // namespace repro::baselines

@@ -1,0 +1,37 @@
+// cuSZp-like baseline (Huang et al., SC'23; paper Section VI): GPU-style
+// block compressor — prequantization, block-local Lorenzo deltas, and
+// per-block fixed-length bit packing with a nonzero-block bitmap.
+//
+// Table III profile: ABS supported but NOT guaranteed — cuSZp "performs a
+// pre-quantization of the floating-point data that may cause integer
+// overflow" (paper Section I); our re-implementation reproduces exactly that
+// flaw (the quantization code wraps to 32 bits). NOA supported,
+// float+double, GPU only (simulated here as the same algorithm on the CPU).
+#pragma once
+
+#include "common/compressor.hpp"
+
+namespace repro::baselines {
+
+class CuszpLikeCompressor final : public Compressor {
+ public:
+  std::string name() const override { return "cuSZp_CUDAsim"; }
+  Features features() const override {
+    Features f;
+    f.abs = true;
+    f.noa = true;
+    f.f32 = f.f64 = true;
+    f.gpu = true;
+    f.guarantee_abs = false;  // prequant overflow (Table III '○')
+    // Table III prints a checkmark for cuSZp NOA, but Section V-D reports
+    // "MGARD-X and cuSZp have major error-bound violations on all tested
+    // double-precision inputs" — nothing re-checks the quantization, so the
+    // bound is best-effort (rounding can overshoot by ~1 ulp of the bin).
+    f.guarantee_noa = false;
+    return f;
+  }
+  Bytes compress(const Field& in, double eps, EbType eb) const override;
+  std::vector<u8> decompress(const Bytes& stream) const override;
+};
+
+}  // namespace repro::baselines

@@ -1,0 +1,31 @@
+// FZ-GPU-like baseline (Zhang et al., HPDC'23; paper Section VI): a fused
+// GPU pipeline — prequantization + Lorenzo deltas, bit shuffle, and
+// zero-region removal.
+//
+// Table III profile: NOA only (not guaranteed, '○'), float only, GPU only.
+// The paper additionally notes FZ-GPU requires 3D inputs (it is excluded
+// from the non-3D suites) and crashes at tight bounds on some inputs; we
+// reproduce the 3D-only restriction via `requires_3d`.
+#pragma once
+
+#include "common/compressor.hpp"
+
+namespace repro::baselines {
+
+class FzGpuLikeCompressor final : public Compressor {
+ public:
+  std::string name() const override { return "FZ-GPU_CUDAsim"; }
+  Features features() const override {
+    Features f;
+    f.noa = true;
+    f.f32 = true;
+    f.gpu = true;
+    f.guarantee_noa = false;  // Table III '○'
+    f.requires_3d = true;
+    return f;
+  }
+  Bytes compress(const Field& in, double eps, EbType eb) const override;
+  std::vector<u8> decompress(const Bytes& stream) const override;
+};
+
+}  // namespace repro::baselines

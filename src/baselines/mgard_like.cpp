@@ -1,0 +1,108 @@
+#include "baselines/mgard_like.hpp"
+
+#include <cmath>
+
+#include "baselines/sz_common.hpp"
+
+namespace repro::baselines {
+namespace {
+
+constexpr u32 kMagic = 0x4452474Du;  // "MGRD"
+
+/// Hierarchical traversal identical in structure to dyadic multigrid
+/// refactoring: anchors at coarse grid points, corrections for midpoints,
+/// level by level from coarse to fine.
+template <typename F>
+void hierarchy_traverse(std::size_t n, F&& visit) {
+  if (n == 0) return;
+  visit(std::size_t{0}, std::size_t{0});
+  if (n == 1) return;
+  std::size_t top = 1;
+  while (top * 2 < n) top *= 2;
+  for (std::size_t s = top;; s /= 2) {
+    for (std::size_t i = s; i < n; i += 2 * s) visit(i, s);
+    if (s == 1) break;
+  }
+}
+
+template <typename T, typename Src>
+T interp_from(const Src& src, std::size_t n, std::size_t i, std::size_t s) {
+  if (s == 0) return T(0);
+  if (i + s < n)
+    return static_cast<T>((static_cast<double>(src[i - s]) + static_cast<double>(src[i + s])) *
+                          0.5);
+  return src[i - s];
+}
+
+template <typename T>
+Bytes compress_typed(const Field& in, double eps, EbType eb) {
+  auto d = in.as<T>();
+  BaselineHeader h;
+  h.magic = kMagic;
+  h.dtype = in.dtype;
+  h.eb = eb;
+  h.eps = eps;
+  h.count = d.size();
+  for (int i = 0; i < 3; ++i) h.dims[i] = in.dims[i];
+  if (eb == EbType::REL) throw CompressionError("MGARD does not support REL bounds");
+  double abs_eps = eb == EbType::NOA ? noa_to_abs(d, eps) : eps;
+  h.derived = abs_eps;
+
+  // THE FLAW (deliberate, see header): corrections are computed against the
+  // original data, so quantization error compounds through the hierarchy on
+  // decode instead of being absorbed level by level.
+  // Quantize corrections at a fraction of the bound (MGARD's level-norm
+  // budgeting); accumulation across levels can still exceed eps — hence '○'.
+  const std::size_t n = d.size();
+  SzQuantizer<T> q(abs_eps * 0.25);
+  SzPayload p;
+  p.codes.resize(n);
+  std::vector<T> outliers;
+  hierarchy_traverse(n, [&](std::size_t i, std::size_t s) {
+    T pred = interp_from<T>(d, n, i, s);  // original, not reconstructed
+    T recon_unused;
+    p.codes[i] = q.quantize(pred, d[i], recon_unused, outliers);
+  });
+  for (T o : outliers) append_scalar(p.outlier_bytes, o);
+  Bytes out;
+  write_bheader(h, out);
+  Bytes payload = sz_pack(p);
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+template <typename T>
+std::vector<u8> decompress_typed(const Bytes& in, const BaselineHeader& h) {
+  SzPayload p = sz_unpack(in.data() + sizeof(BaselineHeader), in.size() - sizeof(BaselineHeader));
+  const std::size_t n = h.count;
+  if (p.codes.size() != n) throw CompressionError("mgard: code count mismatch");
+  SzQuantizer<T> q(h.derived * 0.25);
+  std::vector<T> recon(n, T(0));
+  std::span<const u8> ob(p.outlier_bytes);
+  std::size_t oi = 0;
+  hierarchy_traverse(n, [&](std::size_t i, std::size_t s) {
+    if (p.codes[i] == 0) {
+      recon[i] = take_scalar<T>(ob, oi++);
+    } else {
+      recon[i] = q.reconstruct(interp_from<T>(recon, n, i, s), p.codes[i]);
+    }
+  });
+  std::vector<u8> out(n * sizeof(T));
+  std::memcpy(out.data(), recon.data(), out.size());
+  return out;
+}
+
+}  // namespace
+
+Bytes MgardLikeCompressor::compress(const Field& in, double eps, EbType eb) const {
+  if (in.dtype == DType::F32) return compress_typed<float>(in, eps, eb);
+  return compress_typed<double>(in, eps, eb);
+}
+
+std::vector<u8> MgardLikeCompressor::decompress(const Bytes& stream) const {
+  BaselineHeader h = read_bheader(stream, kMagic);
+  if (h.dtype == DType::F32) return decompress_typed<float>(stream, h);
+  return decompress_typed<double>(stream, h);
+}
+
+}  // namespace repro::baselines

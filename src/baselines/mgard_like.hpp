@@ -1,0 +1,31 @@
+// MGARD-X-like baseline (Chen et al., IPDPS 2021; paper Section VI):
+// multigrid hierarchical data refactoring — dyadic coarsening with
+// interpolation, level-wise quantized correction coefficients, Huffman + LZ.
+//
+// Table III profile: ABS and NOA supported but NOT guaranteed ('○') — the
+// hierarchical reconstruction accumulates quantization error across levels
+// because corrections are quantized against *original* coarse values while
+// the decoder interpolates from *reconstructed* ones; no REL; float+double;
+// the only other CPU/GPU-compatible compressor in the study.
+#pragma once
+
+#include "common/compressor.hpp"
+
+namespace repro::baselines {
+
+class MgardLikeCompressor final : public Compressor {
+ public:
+  std::string name() const override { return "MGARD-X"; }
+  Features features() const override {
+    Features f;
+    f.abs = f.noa = true;
+    f.f32 = f.f64 = true;
+    f.cpu = f.gpu = true;
+    f.guarantee_abs = f.guarantee_noa = false;  // Table III '○'
+    return f;
+  }
+  Bytes compress(const Field& in, double eps, EbType eb) const override;
+  std::vector<u8> decompress(const Bytes& stream) const override;
+};
+
+}  // namespace repro::baselines

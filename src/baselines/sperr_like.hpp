@@ -1,0 +1,31 @@
+// SPERR-like baseline (Li, Lindstrom, Clyne, IPDPS 2023; paper Section VI):
+// multi-level wavelet transform, uniform coefficient quantization, an
+// outlier-correction pass for values that miss the bound, Huffman + LZ.
+//
+// Table III profile: ABS only and not guaranteed ('○' — the paper observes
+// "minor (< 1.5x) violations for the 1E-2 error bound"); float+double; CPU
+// only; and 3D-only in practice (the paper compares against SPERR-3D and
+// excludes the non-3D suites).
+#pragma once
+
+#include "common/compressor.hpp"
+
+namespace repro::baselines {
+
+class SperrLikeCompressor final : public Compressor {
+ public:
+  std::string name() const override { return "SPERR_Serial"; }
+  Features features() const override {
+    Features f;
+    f.abs = true;
+    f.f32 = f.f64 = true;
+    f.cpu = true;
+    f.guarantee_abs = false;  // Table III '○' (minor violations)
+    f.requires_3d = true;
+    return f;
+  }
+  Bytes compress(const Field& in, double eps, EbType eb) const override;
+  std::vector<u8> decompress(const Bytes& stream) const override;
+};
+
+}  // namespace repro::baselines

@@ -1,0 +1,31 @@
+// SZ2-like baseline: Lorenzo prediction + linear-scaling quantization +
+// Huffman + LZ (Liang et al., Big Data 2018; paper Section VI).
+//
+// Feature profile reproduced from Table III: ABS (guaranteed), REL
+// (supported but NOT guaranteed — SZ2 implements point-wise relative bounds
+// via a log-space transform whose exp/log round-trip rounding can exceed the
+// bound; our re-implementation keeps that flaw on purpose), NOA (guaranteed),
+// float+double, CPU only, serial only.
+#pragma once
+
+#include "common/compressor.hpp"
+
+namespace repro::baselines {
+
+class Sz2Compressor final : public Compressor {
+ public:
+  std::string name() const override { return "SZ2_Serial"; }
+  Features features() const override {
+    Features f;
+    f.abs = f.rel = f.noa = true;
+    f.f32 = f.f64 = true;
+    f.cpu = true;
+    f.guarantee_abs = f.guarantee_noa = true;
+    f.guarantee_rel = false;  // log-transform rounding (Table III '○')
+    return f;
+  }
+  Bytes compress(const Field& in, double eps, EbType eb) const override;
+  std::vector<u8> decompress(const Bytes& stream) const override;
+};
+
+}  // namespace repro::baselines

@@ -1,0 +1,37 @@
+// SZ3-like baseline: multi-level interpolation prediction + linear-scaling
+// quantization + Huffman + LZ (Liang et al., IEEE TBD 2023; paper Section VI).
+//
+// Reproduces the SZ3 profile of Table III: ABS and NOA (both guaranteed),
+// no REL, float+double, CPU only. Two variants, as evaluated in the paper:
+//   * SZ3_Serial — one global model, highest compression ratio;
+//   * SZ3_OMP    — independent blocks compressed in parallel; compresses
+//     noticeably less ("the serial version includes well-compressing
+//     transformations that are not parallelism friendly") but streams remain
+//     interchangeable with serial SZ3 for decompression.
+#pragma once
+
+#include "common/compressor.hpp"
+
+namespace repro::baselines {
+
+class Sz3Compressor final : public Compressor {
+ public:
+  explicit Sz3Compressor(bool parallel) : parallel_(parallel) {}
+
+  std::string name() const override { return parallel_ ? "SZ3_OMP" : "SZ3_Serial"; }
+  Features features() const override {
+    Features f;
+    f.abs = f.noa = true;
+    f.f32 = f.f64 = true;
+    f.cpu = true;
+    f.guarantee_abs = f.guarantee_noa = true;
+    return f;
+  }
+  Bytes compress(const Field& in, double eps, EbType eb) const override;
+  std::vector<u8> decompress(const Bytes& stream) const override;
+
+ private:
+  bool parallel_;
+};
+
+}  // namespace repro::baselines

@@ -1,0 +1,40 @@
+// Negabinary (base -2) conversion — used by the first lossless stage.
+//
+// Paper, Section III-D / Figure 3: the delta residuals are stored in
+// negabinary so that both small positive and small negative values have many
+// leading zero bits, which the later bit-shuffle and zero-elimination stages
+// exploit. (ZFP uses the same representation for its coefficients.)
+//
+// The closed forms operate on the two's-complement bit pattern:
+//   to:   nb  = (x + M) ^ M
+//   from: x   = (nb ^ M) - M
+// with M = 0b...10101010 (every odd bit set). Both are exact bijections on
+// the full 32/64-bit range with wraparound arithmetic.
+#pragma once
+
+#include "common/types.hpp"
+
+namespace repro::bits {
+
+template <typename U>
+inline constexpr U negabinary_mask();
+
+template <>
+inline constexpr u32 negabinary_mask<u32>() { return 0xAAAAAAAAu; }
+
+template <>
+inline constexpr u64 negabinary_mask<u64>() { return 0xAAAAAAAAAAAAAAAAull; }
+
+template <typename U>
+inline constexpr U to_negabinary(U twos_complement) {
+  constexpr U m = negabinary_mask<U>();
+  return static_cast<U>((twos_complement + m) ^ m);
+}
+
+template <typename U>
+inline constexpr U from_negabinary(U nb) {
+  constexpr U m = negabinary_mask<U>();
+  return static_cast<U>((nb ^ m) - m);
+}
+
+}  // namespace repro::bits

@@ -1,0 +1,138 @@
+// pfpl — command-line front end for the PFPL compressor.
+//
+// Usage:
+//   pfpl c <in.raw> <out.pfpl> --dtype f32|f64 --eb abs|rel|noa --eps 1e-3
+//        [--exec serial|omp|gpusim]
+//   pfpl d <in.pfpl> <out.raw> [--exec serial|omp|gpusim]
+//   pfpl info <in.pfpl>
+//   pfpl verify <original.raw> <in.pfpl>     # re-check the error bound
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "core/pfpl.hpp"
+#include "io/raw_file.hpp"
+#include "metrics/error_stats.hpp"
+
+using namespace repro;
+
+namespace {
+
+[[noreturn]] void usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  pfpl c <in.raw> <out.pfpl> --dtype f32|f64 --eb abs|rel|noa --eps <e>\n"
+               "       [--exec serial|omp|gpusim]\n"
+               "  pfpl d <in.pfpl> <out.raw> [--exec serial|omp|gpusim]\n"
+               "  pfpl info <in.pfpl>\n"
+               "  pfpl verify <original.raw> <in.pfpl>\n");
+  std::exit(2);
+}
+
+pfpl::Executor parse_exec(const std::string& s) {
+  if (s == "serial") return pfpl::Executor::Serial;
+  if (s == "omp") return pfpl::Executor::OpenMP;
+  if (s == "gpusim") return pfpl::Executor::GpuSim;
+  usage();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) usage();
+  std::string mode = argv[1];
+  try {
+    if (mode == "info") {
+      Bytes in = io::read_file(argv[2]);
+      pfpl::Header h = pfpl::peek_header(in);
+      std::printf("dtype=%s eb=%s eps=%g recon_param=%g values=%llu chunks=%u\n",
+                  to_string(h.dtype), to_string(h.eb_type), h.eps, h.recon_param,
+                  static_cast<unsigned long long>(h.value_count), h.chunk_count);
+      std::printf("compressed=%zu bytes  ratio=%.3f\n", in.size(),
+                  static_cast<double>(h.value_count) * dtype_size(h.dtype) /
+                      static_cast<double>(in.size()));
+      return 0;
+    }
+    if (mode == "verify") {
+      if (argc < 4) usage();
+      std::vector<u8> orig = io::read_file(argv[2]);
+      Bytes comp = io::read_file(argv[3]);
+      pfpl::Header h = pfpl::peek_header(comp);
+      std::vector<u8> back = pfpl::decompress(comp);
+      std::size_t bad = 0;
+      double max_abs = 0, max_rel = 0, psnr = 0;
+      if (h.dtype == DType::F32) {
+        std::span<const float> o(reinterpret_cast<const float*>(orig.data()), orig.size() / 4);
+        std::span<const float> r(reinterpret_cast<const float*>(back.data()), back.size() / 4);
+        bad = metrics::count_violations(o, r, h.eps, h.eb_type);
+        auto st = metrics::compute_stats(o, r);
+        max_abs = st.max_abs;
+        max_rel = st.max_rel;
+        psnr = st.psnr;
+      } else {
+        std::span<const double> o(reinterpret_cast<const double*>(orig.data()), orig.size() / 8);
+        std::span<const double> r(reinterpret_cast<const double*>(back.data()), back.size() / 8);
+        bad = metrics::count_violations(o, r, h.eps, h.eb_type);
+        auto st = metrics::compute_stats(o, r);
+        max_abs = st.max_abs;
+        max_rel = st.max_rel;
+        psnr = st.psnr;
+      }
+      std::printf("eb=%s eps=%g  max_abs_err=%.6g max_rel_err=%.6g psnr=%.2f dB\n",
+                  to_string(h.eb_type), h.eps, max_abs, max_rel, psnr);
+      std::printf("violations: %zu %s\n", bad, bad == 0 ? "(bound holds)" : "(BOUND VIOLATED)");
+      return bad == 0 ? 0 : 3;
+    }
+    if (argc < 4) usage();
+    std::string in_path = argv[2], out_path = argv[3];
+    DType dtype = DType::F32;
+    pfpl::Params p;
+    for (int i = 4; i < argc; ++i) {
+      std::string a = argv[i];
+      auto need = [&](const char* what) -> std::string {
+        if (i + 1 >= argc) {
+          std::fprintf(stderr, "missing value for %s\n", what);
+          usage();
+        }
+        return argv[++i];
+      };
+      if (a == "--dtype") {
+        std::string v = need("--dtype");
+        dtype = v == "f64" ? DType::F64 : DType::F32;
+      } else if (a == "--eb") {
+        std::string v = need("--eb");
+        p.eb = v == "rel" ? EbType::REL : (v == "noa" ? EbType::NOA : EbType::ABS);
+      } else if (a == "--eps") {
+        p.eps = std::stod(need("--eps"));
+      } else if (a == "--exec") {
+        p.exec = parse_exec(need("--exec"));
+      } else {
+        usage();
+      }
+    }
+    if (mode == "c") {
+      std::vector<u8> raw = io::read_file(in_path);
+      Field f;
+      if (dtype == DType::F32)
+        f = Field(reinterpret_cast<const float*>(raw.data()), raw.size() / 4);
+      else
+        f = Field(reinterpret_cast<const double*>(raw.data()), raw.size() / 8);
+      Bytes out = pfpl::compress(f, p);
+      io::write_file(out_path, out.data(), out.size());
+      std::printf("%zu -> %zu bytes (ratio %.3f)\n", raw.size(), out.size(),
+                  static_cast<double>(raw.size()) / static_cast<double>(out.size()));
+      return 0;
+    }
+    if (mode == "d") {
+      Bytes in = io::read_file(in_path);
+      std::vector<u8> raw = pfpl::decompress(in, p.exec);
+      io::write_file(out_path, raw.data(), raw.size());
+      std::printf("%zu -> %zu bytes\n", in.size(), raw.size());
+      return 0;
+    }
+    usage();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "pfpl: %s\n", e.what());
+    return 1;
+  }
+}

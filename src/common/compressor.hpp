@@ -1,0 +1,85 @@
+// Unified compressor interface.
+//
+// PFPL and all seven baseline re-implementations sit behind this interface so
+// the benchmark harness (bench/) can sweep compressors x error bounds x suites
+// exactly the way the paper's evaluation does, and so Table III (the feature
+// matrix) can be regenerated from the capability records.
+#pragma once
+
+#include <cstring>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace repro {
+
+/// Capability record for one compressor; regenerates Table III.
+struct Features {
+  bool abs = false;       ///< supports the ABS error-bound type
+  bool rel = false;       ///< supports the REL error-bound type
+  bool noa = false;       ///< supports the NOA error-bound type
+  bool f32 = false;       ///< supports single-precision data
+  bool f64 = false;       ///< supports double-precision data
+  bool cpu = false;       ///< has a CPU implementation
+  bool gpu = false;       ///< has a GPU implementation (simulated here)
+  bool guarantee_abs = false;  ///< ABS bound is guaranteed (vs. best-effort)
+  bool guarantee_rel = false;
+  bool guarantee_noa = false;
+  bool requires_3d = false;    ///< only operates on 3D fields (SPERR/FZ-GPU)
+
+  bool supports(EbType eb) const {
+    switch (eb) {
+      case EbType::ABS: return abs;
+      case EbType::REL: return rel;
+      case EbType::NOA: return noa;
+    }
+    return false;
+  }
+  bool guarantees(EbType eb) const {
+    switch (eb) {
+      case EbType::ABS: return guarantee_abs;
+      case EbType::REL: return guarantee_rel;
+      case EbType::NOA: return guarantee_noa;
+    }
+    return false;
+  }
+};
+
+/// Abstract error-bounded lossy compressor.
+///
+/// `compress` consumes a Field view and produces a self-describing byte
+/// stream; `decompress` reconstructs the values (dtype and count are encoded
+/// in the stream). Implementations throw CompressionError on unsupported
+/// parameter combinations.
+class Compressor {
+ public:
+  virtual ~Compressor() = default;
+
+  virtual std::string name() const = 0;
+  virtual Features features() const = 0;
+
+  virtual Bytes compress(const Field& in, double eps, EbType eb) const = 0;
+
+  /// Decompress into a freshly allocated buffer of `dtype` scalars.
+  /// The shape is not part of the logical result; callers that need it kept
+  /// it from the original field.
+  virtual std::vector<u8> decompress(const Bytes& stream) const = 0;
+
+  /// Convenience: decompress and reinterpret as T.
+  template <typename T>
+  std::vector<T> decompress_as(const Bytes& stream) const {
+    std::vector<u8> raw = decompress(stream);
+    if (raw.size() % sizeof(T) != 0)
+      throw CompressionError(name() + ": decompressed size not a multiple of scalar size");
+    std::vector<T> out(raw.size() / sizeof(T));
+    std::memcpy(out.data(), raw.data(), raw.size());
+    return out;
+  }
+};
+
+using CompressorPtr = std::shared_ptr<const Compressor>;
+
+}  // namespace repro

@@ -1,0 +1,43 @@
+// Deterministic random-number utilities for the synthetic dataset
+// generators. Fixed algorithms (splitmix64 core, explicit bit-to-double
+// mapping, Box–Muller) so every suite is reproducible byte-for-byte across
+// runs — benches and tests rely on that.
+#pragma once
+
+#include <cmath>
+
+#include "common/types.hpp"
+
+namespace repro::data {
+
+/// splitmix64: tiny, well-distributed, fully deterministic.
+class Rng {
+ public:
+  explicit Rng(u64 seed) : state_(seed) {}
+
+  u64 next_u64() {
+    u64 z = (state_ += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform double in [0, 1) using the top 53 bits.
+  double uniform() { return static_cast<double>(next_u64() >> 11) * 0x1.0p-53; }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Standard normal via Box–Muller (one value per call; simple over fast).
+  double gaussian() {
+    double u1 = uniform();
+    double u2 = uniform();
+    if (u1 < 1e-300) u1 = 1e-300;
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+  }
+
+ private:
+  u64 state_;
+};
+
+}  // namespace repro::data

@@ -1,0 +1,322 @@
+#include "data/synthetic.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "data/rng.hpp"
+
+namespace repro::data {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Field-construction primitives
+// ---------------------------------------------------------------------------
+
+struct Dims {
+  std::size_t z, y, x;
+  std::size_t count() const { return z * y * x; }
+};
+
+/// Add one octave of trilinearly interpolated value noise on a (gz,gy,gx)
+/// lattice. Repeated with doubling grids this yields smooth multi-scale
+/// fields like the climate/weather SDRBench inputs.
+void add_value_noise(std::vector<double>& v, Dims d, std::size_t gz, std::size_t gy,
+                     std::size_t gx, double amplitude, Rng& rng) {
+  gz = std::max<std::size_t>(gz, 1);
+  gy = std::max<std::size_t>(gy, 1);
+  gx = std::max<std::size_t>(gx, 1);
+  std::vector<double> lattice((gz + 1) * (gy + 1) * (gx + 1));
+  for (double& l : lattice) l = rng.uniform(-1.0, 1.0);
+  auto lat = [&](std::size_t k, std::size_t j, std::size_t i) {
+    return lattice[(k * (gy + 1) + j) * (gx + 1) + i];
+  };
+  for (std::size_t k = 0; k < d.z; ++k) {
+    double fz = d.z > 1 ? static_cast<double>(k) / static_cast<double>(d.z - 1) : 0.0;
+    double zf = fz * static_cast<double>(gz);
+    std::size_t z0 = std::min(static_cast<std::size_t>(zf), gz - (gz > 0 ? 1 : 0));
+    double tz = zf - static_cast<double>(z0);
+    for (std::size_t j = 0; j < d.y; ++j) {
+      double fy = d.y > 1 ? static_cast<double>(j) / static_cast<double>(d.y - 1) : 0.0;
+      double yf = fy * static_cast<double>(gy);
+      std::size_t y0 = std::min(static_cast<std::size_t>(yf), gy - (gy > 0 ? 1 : 0));
+      double ty = yf - static_cast<double>(y0);
+      for (std::size_t i = 0; i < d.x; ++i) {
+        double fx = d.x > 1 ? static_cast<double>(i) / static_cast<double>(d.x - 1) : 0.0;
+        double xf = fx * static_cast<double>(gx);
+        std::size_t x0 = std::min(static_cast<std::size_t>(xf), gx - (gx > 0 ? 1 : 0));
+        double tx = xf - static_cast<double>(x0);
+        double c00 = lat(z0, y0, x0) + tx * (lat(z0, y0, x0 + 1) - lat(z0, y0, x0));
+        double c01 = lat(z0, y0 + 1, x0) + tx * (lat(z0, y0 + 1, x0 + 1) - lat(z0, y0 + 1, x0));
+        double c10 = lat(z0 + 1, y0, x0) + tx * (lat(z0 + 1, y0, x0 + 1) - lat(z0 + 1, y0, x0));
+        double c11 =
+            lat(z0 + 1, y0 + 1, x0) + tx * (lat(z0 + 1, y0 + 1, x0 + 1) - lat(z0 + 1, y0 + 1, x0));
+        double c0 = c00 + ty * (c01 - c00);
+        double c1 = c10 + ty * (c11 - c10);
+        v[(k * d.y + j) * d.x + i] += amplitude * (c0 + tz * (c1 - c0));
+      }
+    }
+  }
+}
+
+/// Smooth multi-octave field: octave o uses grid base*2^o and amplitude
+/// roughness^o. roughness ~0.3 = very smooth (climate), ~0.8 = turbulent.
+std::vector<double> smooth_field(Dims d, int octaves, double roughness, double scale,
+                                 Rng& rng) {
+  std::vector<double> v(d.count(), 0.0);
+  double amp = scale;
+  std::size_t gz = d.z > 1 ? 2 : 1, gy = d.y > 1 ? 2 : 1, gx = d.x > 1 ? 2 : 1;
+  // The finest octave is capped at 1/8 of the grid: SDRBench fields are
+  // discretizations of continuous physics and stay smooth at the cell scale,
+  // which is exactly the property the compressors under test exploit.
+  for (int o = 0; o < octaves; ++o) {
+    add_value_noise(v, d, gz, gy, gx, amp, rng);
+    amp *= roughness;
+    gz = std::min<std::size_t>(gz * 2, std::max<std::size_t>(d.z / 8, 1));
+    gy = std::min<std::size_t>(gy * 2, std::max<std::size_t>(d.y / 8, 1));
+    gx = std::min<std::size_t>(gx * 2, std::max<std::size_t>(d.x / 8, 1));
+  }
+  return v;
+}
+
+/// Scale paper dims down to ~target values, preserving the aspect ratio.
+Dims scale_dims(std::array<std::size_t, 3> paper, std::size_t target) {
+  double prod = static_cast<double>(paper[0]) * static_cast<double>(paper[1]) *
+                static_cast<double>(paper[2]);
+  double f = std::cbrt(static_cast<double>(target) / prod);
+  // Don't scale degenerate (==1) axes.
+  int live = 0;
+  for (std::size_t p : paper) live += p > 1;
+  if (live == 1) f = static_cast<double>(target) / prod;
+  if (live == 2) f = std::sqrt(static_cast<double>(target) / prod);
+  auto s = [&](std::size_t p) {
+    if (p <= 1) return p;
+    return std::max<std::size_t>(4, static_cast<std::size_t>(std::lround(p * f)));
+  };
+  return {s(paper[0]), s(paper[1]), s(paper[2])};
+}
+
+SyntheticFile make_file(const std::string& name, DType t, Dims d, std::vector<double> vals) {
+  SyntheticFile f;
+  f.name = name;
+  f.dtype = t;
+  f.dims = {d.z, d.y, d.x};
+  if (t == DType::F32) {
+    f.f32.resize(vals.size());
+    for (std::size_t i = 0; i < vals.size(); ++i) f.f32[i] = static_cast<float>(vals[i]);
+  } else {
+    f.f64 = std::move(vals);
+  }
+  return f;
+}
+
+// ---------------------------------------------------------------------------
+// Per-suite generators; each mimics the structure of its SDRBench namesake.
+// ---------------------------------------------------------------------------
+
+using Gen = SyntheticFile (*)(int idx, std::size_t target, u64 seed);
+
+SyntheticFile gen_cesm(int idx, std::size_t target, u64 seed) {
+  // Climate variables on a level x lat x lon grid; different variables have
+  // wildly different magnitudes (CLDHGH ~1e-1, PS ~1e5 ...), exercising NOA.
+  Dims d = scale_dims({26, 1800, 3600}, target);
+  Rng rng(seed);
+  // Real CESM variables span ~9 decades (CLDHGH ~1e-1 ... PS ~1e5). The
+  // large-magnitude fields are what drives the paper's unquantizable-value
+  // statistics: at ABS 1e-3 their bin numbers overflow the denormal range
+  // and are stored losslessly (Section III-B, up to 11.2% on one input).
+  static constexpr double kMags[] = {1.0, 1e4, 1e-3, 10.0, 1e3, 0.1, 100.0};
+  double mag = kMags[idx % 7];
+  auto v = smooth_field(d, 5, 0.3, mag, rng);
+  return make_file("cesm_var" + std::to_string(idx), DType::F32, d, std::move(v));
+}
+
+SyntheticFile gen_exaalt(int idx, std::size_t target, u64 seed) {
+  // Molecular dynamics: per-atom coordinates of a thermally perturbed copper
+  // lattice, stored as 2D (component x atom) arrays -> piecewise smooth with
+  // jumps between lattice rows.
+  Dims d{1, 3, std::max<std::size_t>(target / 3, 16)};
+  Rng rng(seed);
+  std::vector<double> v(d.count());
+  std::size_t atoms = d.x;
+  std::size_t row = std::max<std::size_t>(static_cast<std::size_t>(std::cbrt(atoms)), 2);
+  for (std::size_t c = 0; c < 3; ++c) {
+    for (std::size_t a = 0; a < atoms; ++a) {
+      std::size_t cell = c == 0 ? a % row : (c == 1 ? (a / row) % row : a / (row * row));
+      v[c * atoms + a] = 3.615 * static_cast<double>(cell) + 0.08 * rng.gaussian();
+    }
+  }
+  return make_file("copper_md" + std::to_string(idx), DType::F32, d, std::move(v));
+}
+
+SyntheticFile gen_hurricane(int idx, std::size_t target, u64 seed) {
+  // Weather simulation: smooth large-scale flow + turbulent small scales.
+  Dims d = scale_dims({100, 500, 500}, target);
+  Rng rng(seed);
+  auto v = smooth_field(d, 6, 0.45, 50.0 + 10.0 * idx, rng);
+  return make_file("isabel_f" + std::to_string(idx), DType::F32, d, std::move(v));
+}
+
+SyntheticFile gen_hacc(int idx, std::size_t target, u64 seed) {
+  // Cosmology particles: 1D arrays. Even files = positions (clustered,
+  // locally correlated after the simulation's space-filling ordering), odd
+  // files = velocities (near-Gaussian, hard to compress) — matching the
+  // x/y/z/vx/vy/vz structure of the HACC set.
+  Dims d{1, 1, target};
+  Rng rng(seed);
+  std::vector<double> v(d.count());
+  if (idx % 2 == 0) {
+    double pos = rng.uniform(0.0, 256.0);
+    for (std::size_t i = 0; i < d.x; ++i) {
+      pos += 0.02 * rng.gaussian();  // local clustering: a slow walk
+      if (rng.uniform() < 0.001) pos = rng.uniform(0.0, 256.0);  // next cluster
+      v[i] = pos;
+    }
+  } else {
+    for (std::size_t i = 0; i < d.x; ++i) v[i] = 300.0 * rng.gaussian();
+  }
+  return make_file(std::string(idx % 2 ? "hacc_v" : "hacc_x") + std::to_string(idx / 2),
+                   DType::F32, d, std::move(v));
+}
+
+SyntheticFile gen_nyx(int idx, std::size_t target, u64 seed) {
+  // Cosmology fields on a regular grid; baryon_density-like files span many
+  // decades (exp of a smooth field), others are temperature/velocity-like.
+  Dims d = scale_dims({512, 512, 512}, target);
+  Rng rng(seed);
+  auto base = smooth_field(d, 5, 0.4, 1.0, rng);
+  std::vector<double> v(base.size());
+  if (idx % 2 == 0) {
+    for (std::size_t i = 0; i < v.size(); ++i) v[i] = std::exp(3.0 * base[i]);
+  } else {
+    for (std::size_t i = 0; i < v.size(); ++i) v[i] = 1e4 * base[i];
+  }
+  return make_file("nyx_f" + std::to_string(idx), DType::F32, d, std::move(v));
+}
+
+SyntheticFile gen_scale(int idx, std::size_t target, u64 seed) {
+  Dims d = scale_dims({98, 1200, 1200}, target);
+  Rng rng(seed);
+  auto v = smooth_field(d, 5, 0.32, 20.0 + 5.0 * idx, rng);
+  return make_file("scale_f" + std::to_string(idx), DType::F32, d, std::move(v));
+}
+
+SyntheticFile gen_qmcpack(int idx, std::size_t target, u64 seed) {
+  // Quantum Monte Carlo orbitals: oscillatory (plane-wave-like) signals under
+  // a smooth envelope, stacked along the first axis.
+  Dims d = scale_dims({33120, 69, 69}, target);
+  Rng rng(seed);
+  std::vector<double> v(d.count());
+  for (std::size_t k = 0; k < d.z; ++k) {
+    double kx = 1.0 + rng.uniform() * 6.0, ky = 1.0 + rng.uniform() * 6.0;
+    double phase = rng.uniform(0.0, 6.28);
+    for (std::size_t j = 0; j < d.y; ++j)
+      for (std::size_t i = 0; i < d.x; ++i) {
+        double fy = static_cast<double>(j) / static_cast<double>(d.y);
+        double fx = static_cast<double>(i) / static_cast<double>(d.x);
+        double env = std::exp(-4.0 * ((fx - 0.5) * (fx - 0.5) + (fy - 0.5) * (fy - 0.5)));
+        v[(k * d.y + j) * d.x + i] =
+            env * std::sin(6.28 * (kx * fx + ky * fy) + phase) * 0.1;
+      }
+  }
+  return make_file("qmc_spo" + std::to_string(idx), DType::F32, d, std::move(v));
+}
+
+SyntheticFile gen_nwchem(int idx, std::size_t target, u64 seed) {
+  // Quantum-chemistry two-electron integrals: magnitudes spanning many
+  // decades with sign changes, only weakly ordered.
+  Dims d{1, 1, target};
+  Rng rng(seed + static_cast<u64>(idx));
+  std::vector<double> v(d.count());
+  double mag = -2.0;
+  for (std::size_t i = 0; i < d.x; ++i) {
+    mag += 0.01 * rng.gaussian();
+    mag = std::clamp(mag, -12.0, 2.0);
+    double sign = rng.uniform() < 0.5 ? -1.0 : 1.0;
+    v[i] = sign * std::pow(10.0, mag) * (0.5 + rng.uniform());
+  }
+  return make_file("nwchem_tce" + std::to_string(idx), DType::F64, d, std::move(v));
+}
+
+SyntheticFile gen_miranda(int idx, std::size_t target, u64 seed) {
+  // Radiation hydrodynamics: smooth regions separated by sharp material
+  // interfaces (tanh fronts riding on a smooth background).
+  Dims d = scale_dims({256, 384, 384}, target);
+  Rng rng(seed);
+  auto v = smooth_field(d, 5, 0.45, 1.0, rng);
+  double fz = 0.3 + 0.4 * rng.uniform();
+  for (std::size_t k = 0; k < d.z; ++k) {
+    double t = std::tanh((static_cast<double>(k) / static_cast<double>(d.z) - fz) * 40.0);
+    for (std::size_t j = 0; j < d.y; ++j)
+      for (std::size_t i = 0; i < d.x; ++i) v[(k * d.y + j) * d.x + i] += 2.0 * t;
+  }
+  for (double& x : v) x = 1.5 + x * (0.2 + 0.05 * idx);
+  return make_file("miranda_f" + std::to_string(idx), DType::F64, d, std::move(v));
+}
+
+SyntheticFile gen_brown(int idx, std::size_t target, u64 seed) {
+  // "Brown Samples": literally synthetic Brownian motion (the SDRBench set is
+  // generated noise with a Brownian spectrum).
+  Dims d{1, 1, target};
+  Rng rng(seed + static_cast<u64>(idx) * 7919);
+  std::vector<double> v(d.count());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < d.x; ++i) {
+    acc += rng.gaussian();
+    v[i] = acc;
+  }
+  return make_file("brown" + std::to_string(idx), DType::F64, d, std::move(v));
+}
+
+struct KindEntry {
+  const char* kind;
+  Gen gen;
+};
+
+constexpr KindEntry kKinds[] = {
+    {"cesm", gen_cesm},       {"exaalt", gen_exaalt}, {"hurricane", gen_hurricane},
+    {"hacc", gen_hacc},       {"nyx", gen_nyx},       {"scale", gen_scale},
+    {"qmcpack", gen_qmcpack}, {"nwchem", gen_nwchem}, {"miranda", gen_miranda},
+    {"brown", gen_brown},
+};
+
+Gen find_gen(const std::string& kind) {
+  for (const auto& e : kKinds)
+    if (kind == e.kind) return e.gen;
+  throw CompressionError("unknown suite kind: " + kind);
+}
+
+}  // namespace
+
+std::vector<SuiteSpec> paper_suites() {
+  return {
+      {"CESM-ATM", "Climate", DType::F32, 33, "26 x 1800 x 3600", "cesm"},
+      {"EXAALT Copper", "Molecular Dyn.", DType::F32, 6, "Various 2D", "exaalt"},
+      {"Hurricane Isabel", "Weather Sim.", DType::F32, 13, "100 x 500 x 500", "hurricane"},
+      {"HACC", "Cosmology", DType::F32, 6, "280,953,867", "hacc"},
+      {"NYX", "Cosmology", DType::F32, 6, "512 x 512 x 512", "nyx"},
+      {"SCALE", "Climate", DType::F32, 12, "98 x 1200 x 1200", "scale"},
+      {"QMCPACK", "Quantum MC", DType::F32, 2, "33,120 x 69 x 69", "qmcpack"},
+      {"NWChem", "Molecular Dyn.", DType::F64, 1, "102,953,248", "nwchem"},
+      {"Miranda", "Hydrodynamics", DType::F64, 7, "256 x 384 x 384", "miranda"},
+      {"Brown Samples", "Synthetic", DType::F64, 3, "33,554,433", "brown"},
+  };
+}
+
+Suite generate(const SuiteSpec& spec, std::size_t target_values, int max_files, u64 seed) {
+  Suite s;
+  s.spec = spec;
+  Gen gen = find_gen(spec.kind);
+  int files = max_files > 0 ? std::min(max_files, spec.paper_files) : spec.paper_files;
+  for (int i = 0; i < files; ++i)
+    s.files.push_back(gen(i, target_values, seed ^ (static_cast<u64>(i) * 0x9E3779B9ull) ^
+                                                std::hash<std::string>{}(spec.name)));
+  return s;
+}
+
+std::vector<Suite> generate_all(std::size_t target_values, int max_files) {
+  std::vector<Suite> suites;
+  for (const auto& spec : paper_suites()) suites.push_back(generate(spec, target_values, max_files));
+  return suites;
+}
+
+}  // namespace repro::data

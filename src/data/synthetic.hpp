@@ -1,0 +1,73 @@
+// Synthetic SDRBench-like input suites (substitute for Table II).
+//
+// The paper evaluates on 10 SDRBench suites (7 single-, 3 double-precision;
+// 89 files total). Those datasets are not available offline, so each suite
+// is replaced by a generator that reproduces the properties PFPL's pipeline
+// is sensitive to: dimensionality, precision, smoothness regime (very smooth
+// climate fields -> noisy particle data), value ranges centred around zero,
+// and absence of NaN/inf/denormals (paper Section III-D). DESIGN.md §1
+// records this substitution.
+//
+// Dims are scaled down from the paper's (laptop-scale harness); the paper's
+// original dims and file counts are retained in SuiteSpec for the Table II
+// reproduction.
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace repro::data {
+
+/// One row of the paper's Table II.
+struct SuiteSpec {
+  std::string name;
+  std::string description;
+  DType dtype;
+  int paper_files;                        ///< file count in SDRBench
+  std::string paper_dims;                 ///< dims as printed in Table II
+  std::string kind;                       ///< generator id (see synthetic.cpp)
+};
+
+/// The 10 suites of Table II, in paper order.
+std::vector<SuiteSpec> paper_suites();
+
+/// One generated file: name plus owned values (f32 or f64 populated per
+/// dtype).
+struct SyntheticFile {
+  std::string name;
+  DType dtype = DType::F32;
+  std::array<std::size_t, 3> dims{1, 1, 0};
+  std::vector<float> f32;
+  std::vector<double> f64;
+
+  Field field() const {
+    if (dtype == DType::F32) return Field(f32.data(), dims);
+    return Field(f64.data(), dims);
+  }
+  std::size_t byte_size() const { return field().byte_size(); }
+};
+
+struct Suite {
+  SuiteSpec spec;
+  std::vector<SyntheticFile> files;
+
+  std::size_t total_bytes() const {
+    std::size_t b = 0;
+    for (const auto& f : files) b += f.byte_size();
+    return b;
+  }
+};
+
+/// Generate one suite. `target_values` is the approximate per-file element
+/// count (the generator picks dims with the paper's aspect ratio);
+/// `max_files` caps the file count (0 = the paper's count).
+Suite generate(const SuiteSpec& spec, std::size_t target_values = 1 << 20,
+               int max_files = 3, u64 seed = 0x5D12B1E5u);
+
+/// Generate every suite (benchmark harness entry point).
+std::vector<Suite> generate_all(std::size_t target_values = 1 << 20, int max_files = 3);
+
+}  // namespace repro::data

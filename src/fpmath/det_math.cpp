@@ -1,0 +1,143 @@
+#include "fpmath/det_math.hpp"
+
+namespace repro::fpmath {
+namespace {
+
+// ln(2) split into a high part exact in 32 bits and a low correction, so the
+// product k * ln2_hi is exact for |k| < 2^20 and argument reduction loses no
+// precision.
+constexpr double kLn2Hi = 6.93147180369123816490e-01;   // upper bits of ln 2
+constexpr double kLn2Lo = 1.90821492927058770002e-10;   // ln 2 - kLn2Hi
+constexpr double kInvLn2 = 1.44269504088896338700e+00;  // 1 / ln 2
+constexpr double kTwo52 = 4503599627370496.0;           // 2^52
+constexpr double kSqrt2 = 1.41421356237309514547;
+
+}  // namespace
+
+double round_nearest_even(double x) {
+  // Adding and subtracting 2^52 forces rounding at the integer position
+  // under the IEEE default round-to-nearest-even mode. Values >= 2^52 are
+  // already integral.
+  if (x >= 0.0) {
+    if (x >= kTwo52) return x;
+    double t = x + kTwo52;
+    return t - kTwo52;
+  }
+  if (x <= -kTwo52) return x;
+  double t = x - kTwo52;
+  return t + kTwo52;
+}
+
+double det_log(double x) {
+  using FT = FloatTraits<double>;
+  u64 bits = to_bits(x);
+  int extra = 0;
+  if (bits < FT::denormal_limit) {
+    // Denormal input: scale into the normal range by 2^54 (exact) and
+    // compensate in the exponent term.
+    x = x * 18014398509481984.0;  // 2^54
+    bits = to_bits(x);
+    extra = -54;
+  }
+  int e = static_cast<int>(bits >> FT::mantissa_bits) - 1023 + extra;
+  double m = from_bits<double>((bits & FT::mantissa_mask) | 0x3FF0000000000000ull);
+  if (m > kSqrt2) {
+    m = m * 0.5;
+    e += 1;
+  }
+  // log(m) for m in (sqrt(2)/2, sqrt(2)] via the atanh series:
+  //   log(m) = 2s * (1 + z/3 + z^2/5 + ...),  s = (m-1)/(m+1), z = s^2.
+  // |s| <= 0.1716 so 9 terms give < 1e-15 relative error.
+  double s = (m - 1.0) / (m + 1.0);
+  double z = s * s;
+  double p = 1.0 / 17.0;
+  p = p * z + 1.0 / 15.0;
+  p = p * z + 1.0 / 13.0;
+  p = p * z + 1.0 / 11.0;
+  p = p * z + 1.0 / 9.0;
+  p = p * z + 1.0 / 7.0;
+  p = p * z + 1.0 / 5.0;
+  p = p * z + 1.0 / 3.0;
+  p = p * z + 1.0;
+  double log_m = 2.0 * s * p;
+  double de = static_cast<double>(e);
+  return de * kLn2Hi + (de * kLn2Lo + log_m);
+}
+
+double det_log1p(double x) {
+  // For x >= 0.1 the direct form's 1+x rounding costs < 2^-53/log(1.1)
+  // ~ 1.2e-15 relative error; below that use the atanh series around 0
+  // (s <= 0.0477, so six terms reach ~1e-17).
+  if (x >= 0.1) return det_log(1.0 + x);
+  // log(1+x) = 2 atanh(x / (2 + x)); same series as det_log.
+  double s = x / (2.0 + x);
+  double z = s * s;
+  double p = 1.0 / 11.0;
+  p = p * z + 1.0 / 9.0;
+  p = p * z + 1.0 / 7.0;
+  p = p * z + 1.0 / 5.0;
+  p = p * z + 1.0 / 3.0;
+  p = p * z + 1.0;
+  return 2.0 * s * p;
+}
+
+double det_exp(double x) {
+  if (x > 709.782712893384) return from_bits<double>(FloatTraits<double>::pos_inf);
+  if (x < -745.2) return 0.0;
+  // Argument reduction: x = k*ln2 + r, |r| <= ln2/2.
+  double dk = round_nearest_even(x * kInvLn2);
+  i64 k = static_cast<i64>(dk);
+  double r = (x - dk * kLn2Hi) - dk * kLn2Lo;
+  // exp(r) Taylor series; |r| <= 0.3466 so 15 terms reach < 2e-17.
+  double p = 1.0 / 1307674368000.0;  // 1/15!
+  p = p * r + 1.0 / 87178291200.0;
+  p = p * r + 1.0 / 6227020800.0;
+  p = p * r + 1.0 / 479001600.0;
+  p = p * r + 1.0 / 39916800.0;
+  p = p * r + 1.0 / 3628800.0;
+  p = p * r + 1.0 / 362880.0;
+  p = p * r + 1.0 / 40320.0;
+  p = p * r + 1.0 / 5040.0;
+  p = p * r + 1.0 / 720.0;
+  p = p * r + 1.0 / 120.0;
+  p = p * r + 1.0 / 24.0;
+  p = p * r + 1.0 / 6.0;
+  p = p * r + 0.5;
+  p = p * r + 1.0;
+  p = p * r + 1.0;
+  // Scale by 2^k. For k in the normal-exponent range a single exact multiply
+  // suffices; near the denormal boundary split the scaling so intermediate
+  // values stay representable.
+  if (k >= -1021 && k <= 1023) {
+    double scale = from_bits<double>(static_cast<u64>(k + 1023) << 52);
+    return p * scale;
+  }
+  if (k > 1023) {
+    // p in [~0.7, ~1.5] so 2^1023 * p can still overflow only if k > 1023.
+    double scale = from_bits<double>(static_cast<u64>(2046) << 52);  // 2^1023
+    double q = p * scale;
+    i64 rem = k - 1023;
+    while (rem > 0 && is_finite_bits<double>(to_bits(q))) {
+      q = q * 2.0;
+      --rem;
+    }
+    return q;
+  }
+  // k < -1021: descend into the denormal range in two steps.
+  double scale1 = from_bits<double>(static_cast<u64>(-1021 + 1023) << 52);  // 2^-1021
+  double q = p * scale1;
+  i64 rem = -1021 - k;  // > 0
+  // Remaining factor 2^-rem; apply in halving steps (each step is exact or
+  // correctly rounded into the denormal range).
+  while (rem >= 52) {
+    q = q * 2.220446049250313e-16;  // 2^-52, exact scaling while q normal
+    rem -= 52;
+  }
+  if (rem > 0) {
+    double scale2 = from_bits<double>(static_cast<u64>(1023 - rem) << 52);
+    q = q * scale2;
+  }
+  return q;
+}
+
+}  // namespace repro::fpmath

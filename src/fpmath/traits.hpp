@@ -1,0 +1,84 @@
+// IEEE-754 bit-level traits for float and double.
+//
+// PFPL stores quantization bin numbers inside reserved regions of the IEEE
+// bit-pattern space (Section III-B of the paper):
+//   * ABS/NOA: the positive-denormal range (top sign+exponent bits all zero),
+//     which is ~8 million patterns wide for floats and 2^52 wide for doubles.
+//   * REL: the negative-NaN range, freed up by making input NaNs positive.
+// These traits centralize the constants that carve up those ranges.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <limits>
+#include <type_traits>
+
+#include "common/types.hpp"
+
+namespace repro::fpmath {
+
+template <typename T>
+struct FloatTraits;
+
+template <>
+struct FloatTraits<float> {
+  using Bits = u32;
+  using Signed = i32;
+  static constexpr int total_bits = 32;
+  static constexpr int mantissa_bits = 23;
+  static constexpr int exponent_bits = 8;
+  static constexpr Bits sign_mask = 0x80000000u;
+  static constexpr Bits exponent_mask = 0x7F800000u;
+  static constexpr Bits mantissa_mask = 0x007FFFFFu;
+  static constexpr Bits pos_inf = 0x7F800000u;
+  static constexpr Bits neg_inf = 0xFF800000u;
+  /// All bit patterns strictly below this are +0 or positive denormals.
+  static constexpr Bits denormal_limit = Bits{1} << mantissa_bits;  // 2^23
+  static constexpr float min_normal = 1.17549435082228751e-38f;     // 2^-126
+};
+
+template <>
+struct FloatTraits<double> {
+  using Bits = u64;
+  using Signed = i64;
+  static constexpr int total_bits = 64;
+  static constexpr int mantissa_bits = 52;
+  static constexpr int exponent_bits = 11;
+  static constexpr Bits sign_mask = 0x8000000000000000ull;
+  static constexpr Bits exponent_mask = 0x7FF0000000000000ull;
+  static constexpr Bits mantissa_mask = 0x000FFFFFFFFFFFFFull;
+  static constexpr Bits pos_inf = 0x7FF0000000000000ull;
+  static constexpr Bits neg_inf = 0xFFF0000000000000ull;
+  static constexpr Bits denormal_limit = Bits{1} << mantissa_bits;  // 2^52
+  static constexpr double min_normal = 2.2250738585072014e-308;     // 2^-1022
+};
+
+template <typename T>
+constexpr typename FloatTraits<T>::Bits to_bits(T v) {
+  return std::bit_cast<typename FloatTraits<T>::Bits>(v);
+}
+
+template <typename T>
+constexpr T from_bits(typename FloatTraits<T>::Bits b) {
+  return std::bit_cast<T>(b);
+}
+
+template <typename T>
+constexpr bool is_nan_bits(typename FloatTraits<T>::Bits b) {
+  using FT = FloatTraits<T>;
+  return (b & FT::exponent_mask) == FT::exponent_mask && (b & FT::mantissa_mask) != 0;
+}
+
+template <typename T>
+constexpr bool is_inf_bits(typename FloatTraits<T>::Bits b) {
+  using FT = FloatTraits<T>;
+  return (b & ~FT::sign_mask) == FT::pos_inf;
+}
+
+template <typename T>
+constexpr bool is_finite_bits(typename FloatTraits<T>::Bits b) {
+  using FT = FloatTraits<T>;
+  return (b & FT::exponent_mask) != FT::exponent_mask;
+}
+
+}  // namespace repro::fpmath

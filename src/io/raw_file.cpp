@@ -1,0 +1,30 @@
+#include "io/raw_file.hpp"
+
+#include <cstdio>
+#include <memory>
+
+namespace repro::io {
+
+std::vector<u8> read_file(const std::string& path) {
+  std::unique_ptr<std::FILE, int (*)(std::FILE*)> f(std::fopen(path.c_str(), "rb"),
+                                                    &std::fclose);
+  if (!f) throw CompressionError("cannot open " + path);
+  std::fseek(f.get(), 0, SEEK_END);
+  long size = std::ftell(f.get());
+  if (size < 0) throw CompressionError("cannot stat " + path);
+  std::fseek(f.get(), 0, SEEK_SET);
+  std::vector<u8> buf(static_cast<std::size_t>(size));
+  if (size > 0 && std::fread(buf.data(), 1, buf.size(), f.get()) != buf.size())
+    throw CompressionError("short read on " + path);
+  return buf;
+}
+
+void write_file(const std::string& path, const void* data, std::size_t size) {
+  std::unique_ptr<std::FILE, int (*)(std::FILE*)> f(std::fopen(path.c_str(), "wb"),
+                                                    &std::fclose);
+  if (!f) throw CompressionError("cannot create " + path);
+  if (size > 0 && std::fwrite(data, 1, size, f.get()) != size)
+    throw CompressionError("short write on " + path);
+}
+
+}  // namespace repro::io

@@ -1,0 +1,29 @@
+// Raw binary file I/O for scalar fields (the SDRBench on-disk format: a bare
+// array of little-endian f32/f64 values, dims supplied out of band).
+#pragma once
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace repro::io {
+
+/// Read a whole file into a byte buffer. Throws CompressionError on failure.
+std::vector<u8> read_file(const std::string& path);
+
+/// Write a byte buffer to a file (truncating). Throws on failure.
+void write_file(const std::string& path, const void* data, std::size_t size);
+
+template <typename T>
+std::vector<T> read_values(const std::string& path) {
+  std::vector<u8> raw = read_file(path);
+  if (raw.size() % sizeof(T) != 0)
+    throw CompressionError(path + ": size is not a multiple of the scalar size");
+  std::vector<T> out(raw.size() / sizeof(T));
+  std::memcpy(out.data(), raw.data(), raw.size());
+  return out;
+}
+
+}  // namespace repro::io

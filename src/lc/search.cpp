@@ -1,0 +1,75 @@
+#include "lc/search.hpp"
+
+#include <algorithm>
+
+#include "common/timer.hpp"
+
+namespace repro::lc {
+
+Candidate evaluate(const Pipeline& p, const std::vector<std::vector<u8>>& chunks) {
+  Candidate c;
+  c.pipeline = p;
+  c.name = p.name();
+  std::size_t in_bytes = 0, out_bytes = 0;
+  Timer t;
+  std::vector<std::vector<u8>> encoded;
+  encoded.reserve(chunks.size());
+  for (const auto& chunk : chunks) {
+    encoded.push_back(p.encode(chunk));
+    in_bytes += chunk.size();
+    out_bytes += encoded.back().size();
+  }
+  double secs = t.seconds();
+  c.ratio = out_bytes ? static_cast<double>(in_bytes) / static_cast<double>(out_bytes) : 0;
+  c.enc_mbps = throughput_mbps(in_bytes, secs);
+  c.roundtrip = true;
+  try {
+    for (std::size_t i = 0; i < chunks.size(); ++i) {
+      std::vector<u8> back = p.decode(encoded[i], chunks[i].size());
+      if (back != chunks[i]) {
+        c.roundtrip = false;
+        break;
+      }
+    }
+  } catch (const CompressionError&) {
+    c.roundtrip = false;
+  }
+  return c;
+}
+
+std::vector<Candidate> search(const std::vector<std::vector<u8>>& chunks,
+                              const SearchConfig& cfg) {
+  std::vector<StagePtr> lib = component_library(cfg.word_bits);
+  std::vector<Candidate> results;
+
+  // Iterative deepening over stage sequences (with-repetition enumeration,
+  // optionally pruning immediate repeats — a repeated permutation stage is
+  // either a no-op or equivalent to a single application).
+  std::vector<std::size_t> idx;
+  auto emit = [&]() {
+    std::vector<StagePtr> stages;
+    stages.reserve(idx.size());
+    for (std::size_t i : idx) stages.push_back(lib[i]);
+    Candidate c = evaluate(Pipeline(std::move(stages)), chunks);
+    if (c.roundtrip) results.push_back(std::move(c));
+  };
+  // Depth-first enumeration up to max_stages.
+  std::vector<std::size_t> stack;
+  auto rec = [&](auto&& self, int depth) -> void {
+    if (depth > 0) emit();
+    if (depth == cfg.max_stages) return;
+    for (std::size_t i = 0; i < lib.size(); ++i) {
+      if (cfg.skip_repeats && !idx.empty() && idx.back() == i) continue;
+      idx.push_back(i);
+      self(self, depth + 1);
+      idx.pop_back();
+    }
+  };
+  rec(rec, 0);
+
+  std::sort(results.begin(), results.end(),
+            [](const Candidate& a, const Candidate& b) { return a.ratio > b.ratio; });
+  return results;
+}
+
+}  // namespace repro::lc

@@ -1,0 +1,40 @@
+// Mini-LC pipeline search driver (paper Section III-D).
+//
+// "To find a good lossless compression algorithm for the output of our
+// quantizers, we tested a large number of combinations of data
+// transformations" — this module enumerates pipelines over the component
+// library, verifies each round-trips, and ranks them by compression ratio
+// and encode throughput on caller-provided sample chunks.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "lc/stage.hpp"
+
+namespace repro::lc {
+
+struct SearchConfig {
+  int word_bits = 32;        ///< 32 for f32 streams, 64 for f64
+  int max_stages = 3;        ///< pipeline depth bound
+  bool skip_repeats = true;  ///< prune immediately repeated stages
+};
+
+struct Candidate {
+  Pipeline pipeline;
+  std::string name;
+  double ratio = 0;      ///< total input bytes / total encoded bytes
+  double enc_mbps = 0;   ///< single-thread encode throughput
+  bool roundtrip = false;
+};
+
+/// Enumerate all pipelines up to max_stages over the component library and
+/// evaluate them on the sample chunks. Returns candidates sorted by ratio
+/// (descending); candidates that fail to round-trip are excluded.
+std::vector<Candidate> search(const std::vector<std::vector<u8>>& sample_chunks,
+                              const SearchConfig& cfg);
+
+/// Evaluate one specific pipeline on the sample chunks.
+Candidate evaluate(const Pipeline& p, const std::vector<std::vector<u8>>& sample_chunks);
+
+}  // namespace repro::lc

@@ -1,0 +1,76 @@
+// Mini-LC: a reproduction of the LC framework's component model (Azami,
+// Fallin, Burtscher et al. [3]) that the paper used to *design* PFPL:
+// "We designed these stages with the LC framework, which can automatically
+// synthesize parallelized data compressors ... we used LC to generate many
+// algorithms and then optimized the best" (Section III-D).
+//
+// A Stage is a reversible transformation over one chunk of data. Stages are
+// word-size aware (the double-precision pipeline is the single-precision one
+// with wider words) and may change the chunk's length (only compressing
+// stages do). Pipelines are sequences of stages; the search driver
+// (lc/search.hpp) enumerates and ranks them the way the authors did.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace repro::lc {
+
+/// One reversible chunk transformation.
+class Stage {
+ public:
+  virtual ~Stage() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Transform `data` in place (may change its size).
+  virtual void encode(std::vector<u8>& data) const = 0;
+
+  /// Invert. `original_size` is the pre-encode size of this stage's input
+  /// (pipelines track sizes stage by stage, like LC's length headers).
+  virtual void decode(std::vector<u8>& data, std::size_t original_size) const = 0;
+
+  /// True if this stage only permutes/remaps bits (size preserved).
+  virtual bool size_preserving() const { return true; }
+};
+
+using StagePtr = std::shared_ptr<const Stage>;
+
+/// A pipeline of stages applied in order.
+class Pipeline {
+ public:
+  Pipeline() = default;
+  explicit Pipeline(std::vector<StagePtr> stages) : stages_(std::move(stages)) {}
+
+  std::string name() const;
+  const std::vector<StagePtr>& stages() const { return stages_; }
+
+  /// Encode a chunk; returns the transformed bytes.
+  std::vector<u8> encode(std::vector<u8> data) const;
+
+  /// Decode a chunk given the original (pre-pipeline) size.
+  std::vector<u8> decode(std::vector<u8> data, std::size_t original_size) const;
+
+ private:
+  std::vector<StagePtr> stages_;
+};
+
+/// The component library: every stage the search may use, by word size.
+/// WordBits is 32 or 64.
+std::vector<StagePtr> component_library(int word_bits);
+
+/// Individual components (exposed for tests and targeted pipelines).
+StagePtr make_diff(int word_bits);             ///< word delta (two's complement)
+StagePtr make_diff_negabinary(int word_bits);  ///< word delta + negabinary (PFPL stage 1)
+StagePtr make_xor_prev(int word_bits);         ///< XOR with previous word
+StagePtr make_negabinary(int word_bits);       ///< negabinary remap only
+StagePtr make_bitshuffle(int word_bits);       ///< tile bit transpose (PFPL stage 2)
+StagePtr make_byteshuffle(int word_bits);      ///< byte-granularity transpose
+StagePtr make_zerobyte();                      ///< zero-byte elimination (PFPL stage 3)
+StagePtr make_rle();                           ///< byte run-length coding
+StagePtr make_lz();                            ///< LZ backend
+
+}  // namespace repro::lc

@@ -1,0 +1,79 @@
+// Bit-granularity I/O over byte buffers (LSB-first), used by the Huffman
+// coder and the ZFP-like bit-plane coder.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace repro::lossless {
+
+class BitWriter {
+ public:
+  explicit BitWriter(std::vector<u8>& out) : out_(out) {}
+
+  /// Append the low `n` bits of `bits` (n <= 64).
+  void put(u64 bits, unsigned n) {
+    acc_ |= (n < 64 ? (bits & ((u64{1} << n) - 1)) : bits) << fill_;
+    fill_ += n;
+    while (fill_ >= 8) {
+      out_.push_back(static_cast<u8>(acc_));
+      acc_ >>= 8;
+      fill_ -= 8;
+    }
+  }
+
+  void put_bit(bool b) { put(b ? 1u : 0u, 1); }
+
+  /// Flush the partial byte (zero-padded). Must be called exactly once.
+  void flush() {
+    if (fill_ > 0) {
+      out_.push_back(static_cast<u8>(acc_));
+      acc_ = 0;
+      fill_ = 0;
+    }
+  }
+
+ private:
+  std::vector<u8>& out_;
+  u64 acc_ = 0;
+  unsigned fill_ = 0;
+};
+
+class BitReader {
+ public:
+  BitReader(const u8* data, std::size_t size) : data_(data), size_(size) {}
+
+  /// Read `n` bits (n <= 57 per call to keep the refill simple).
+  u64 get(unsigned n) {
+    while (fill_ < n) {
+      u64 byte = pos_ < size_ ? data_[pos_] : 0;
+      if (pos_ >= size_) truncated_ = true;
+      ++pos_;
+      acc_ |= byte << fill_;
+      fill_ += 8;
+    }
+    u64 v = n < 64 ? (acc_ & ((u64{1} << n) - 1)) : acc_;
+    acc_ >>= n;
+    fill_ -= n;
+    return v;
+  }
+
+  bool get_bit() { return get(1) != 0; }
+
+  /// True if any read ran past the end of the buffer.
+  bool truncated() const { return truncated_; }
+
+  /// Bytes consumed so far (rounded up to whole bytes actually touched).
+  std::size_t bytes_consumed() const { return pos_ - fill_ / 8; }
+
+ private:
+  const u8* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+  u64 acc_ = 0;
+  unsigned fill_ = 0;
+  bool truncated_ = false;
+};
+
+}  // namespace repro::lossless

@@ -1,0 +1,31 @@
+// Canonical Huffman coder over 16-bit symbols.
+//
+// Substrate for the SZ-class baselines: SZ2/SZ3 entropy-code their
+// quantization codes with Huffman before the general-purpose lossless
+// backend (paper Section VI). Code lengths are limited to kMaxBits by
+// iterative frequency flattening so the decoder tables stay small.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace repro::lossless {
+
+inline constexpr unsigned kHuffMaxBits = 24;
+
+/// Encode `syms`; the stream is self-describing (symbol count, code table,
+/// then the bit stream).
+Bytes huffman_encode(std::span<const u16> syms);
+
+/// Decode a stream produced by huffman_encode. `consumed` (optional)
+/// receives the number of input bytes read.
+std::vector<u16> huffman_decode(const u8* data, std::size_t size,
+                                std::size_t* consumed = nullptr);
+
+inline std::vector<u16> huffman_decode(const Bytes& b) {
+  return huffman_decode(b.data(), b.size());
+}
+
+}  // namespace repro::lossless

@@ -1,0 +1,22 @@
+// Byte-oriented LZ77 compressor (LZ4-style token format, hash-chain match
+// finder). Stands in for the ZSTD/GZIP general-purpose backends that SZ2/SZ3
+// and SPERR apply after entropy coding (paper Section VI) — same algorithmic
+// class (dictionary coder), deliberately simple.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace repro::lossless {
+
+/// Compress `in`; self-describing (decompressed size is stored).
+Bytes lz_encode(std::span<const u8> in);
+
+/// Decompress a stream produced by lz_encode.
+std::vector<u8> lz_decode(const u8* data, std::size_t size);
+
+inline std::vector<u8> lz_decode(const Bytes& b) { return lz_decode(b.data(), b.size()); }
+
+}  // namespace repro::lossless

@@ -1,0 +1,155 @@
+#include "metrics/error_stats.hpp"
+
+#include <cmath>
+#include <limits>
+
+namespace repro::metrics {
+namespace {
+
+template <typename T>
+using VerifyReal = std::conditional_t<std::is_same_v<T, float>, double, long double>;
+
+template <typename T>
+ErrorStats compute_stats_impl(std::span<const T> orig, std::span<const T> recon) {
+  ErrorStats s;
+  s.count = orig.size();
+  bool any = false;
+  double mn = 0, mx = 0;
+  double sum_sq = 0.0;
+  std::size_t finite_pairs = 0;
+  for (std::size_t i = 0; i < orig.size(); ++i) {
+    T o = orig[i];
+    T r = i < recon.size() ? recon[i] : T(0);
+    if (std::isnan(o)) {
+      if (!std::isnan(r)) ++s.nonfinite_mismatches;
+      continue;
+    }
+    if (std::isinf(o)) {
+      if (r != o) ++s.nonfinite_mismatches;
+      continue;
+    }
+    if (!any) {
+      mn = mx = static_cast<double>(o);
+      any = true;
+    } else {
+      mn = std::min(mn, static_cast<double>(o));
+      mx = std::max(mx, static_cast<double>(o));
+    }
+    if (!std::isfinite(r)) {
+      ++s.nonfinite_mismatches;
+      continue;
+    }
+    double d = std::abs(static_cast<double>(o) - static_cast<double>(r));
+    s.max_abs = std::max(s.max_abs, d);
+    sum_sq += d * d;
+    ++finite_pairs;
+    if (o != T(0)) s.max_rel = std::max(s.max_rel, d / std::abs(static_cast<double>(o)));
+    if ((o > T(0) && r < T(0)) || (o < T(0) && r > T(0))) ++s.sign_flips;
+  }
+  s.value_range = any ? mx - mn : 0.0;
+  s.mse = finite_pairs ? sum_sq / static_cast<double>(finite_pairs) : 0.0;
+  s.psnr = (s.mse > 0.0 && s.value_range > 0.0)
+               ? 20.0 * std::log10(s.value_range) - 10.0 * std::log10(s.mse)
+               : std::numeric_limits<double>::infinity();
+  return s;
+}
+
+template <typename T>
+double finite_range_of(std::span<const T> v) {
+  bool any = false;
+  double mn = 0, mx = 0;
+  for (T x : v) {
+    if (!std::isfinite(x)) continue;
+    double d = static_cast<double>(x);
+    if (!any) {
+      mn = mx = d;
+      any = true;
+    } else {
+      mn = std::min(mn, d);
+      mx = std::max(mx, d);
+    }
+  }
+  return any ? mx - mn : 0.0;
+}
+
+template <typename T>
+std::size_t count_violations_impl(std::span<const T> orig, std::span<const T> recon,
+                                  double eps, EbType eb) {
+  using V = VerifyReal<T>;
+  std::size_t bad = 0;
+  V bound = static_cast<V>(eps);
+  if (eb == EbType::NOA) bound = static_cast<V>(eps) * static_cast<V>(finite_range_of(orig));
+  const V one_plus = V(1) + static_cast<V>(eps);
+  for (std::size_t i = 0; i < orig.size(); ++i) {
+    T o = orig[i];
+    T r = i < recon.size() ? recon[i] : T(0);
+    if (std::isnan(o)) {
+      bad += !std::isnan(r);
+      continue;
+    }
+    if (eb == EbType::ABS || eb == EbType::NOA) {
+      if (std::isinf(o)) {
+        bad += r != o;
+        continue;
+      }
+      if (!std::isfinite(r)) {
+        ++bad;
+        continue;
+      }
+      V d = static_cast<V>(o) - static_cast<V>(r);
+      if (d < 0) d = -d;
+      bad += !(d <= bound);
+    } else {  // REL
+      if (std::isinf(o)) {
+        bad += r != o;
+        continue;
+      }
+      if (o == T(0)) {
+        bad += r != T(0);
+        continue;
+      }
+      bool same_sign = (o > T(0)) == (r > T(0)) && r != T(0);
+      if (!same_sign || !std::isfinite(r)) {
+        ++bad;
+        continue;
+      }
+      V ao = static_cast<V>(o < T(0) ? -o : o);
+      V ar = static_cast<V>(r < T(0) ? -r : r);
+      bad += !(ar * one_plus >= ao && ar <= ao * one_plus);
+    }
+  }
+  return bad;
+}
+
+}  // namespace
+
+ErrorStats compute_stats(std::span<const float> o, std::span<const float> r) {
+  return compute_stats_impl(o, r);
+}
+ErrorStats compute_stats(std::span<const double> o, std::span<const double> r) {
+  return compute_stats_impl(o, r);
+}
+
+std::size_t count_violations(std::span<const float> o, std::span<const float> r, double eps,
+                             EbType eb) {
+  return count_violations_impl(o, r, eps, eb);
+}
+std::size_t count_violations(std::span<const double> o, std::span<const double> r, double eps,
+                             EbType eb) {
+  return count_violations_impl(o, r, eps, eb);
+}
+
+double geomean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double log_sum = 0.0;
+  std::size_t n = 0;
+  for (double x : xs) {
+    if (x > 0) {
+      log_sum += std::log(x);
+      ++n;
+    }
+  }
+  return n ? std::exp(log_sum / static_cast<double>(n)) : 0.0;
+}
+
+}  // namespace repro::metrics

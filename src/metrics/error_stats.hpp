@@ -1,0 +1,57 @@
+// Reconstruction-quality metrics and error-bound verification.
+//
+// This is the *external* judge used by the test suite and by the Table III
+// bound-violation probe: it re-checks every reconstructed value against the
+// requested bound, independent of any compressor's internal bookkeeping.
+// Verification precision follows the same convention as the PFPL quantizers
+// (double for float data, long double for double data) — see
+// core/quantizers.hpp.
+//
+// PSNR is computed the way lossy-compression papers (and Figure 16) do:
+//   PSNR = 20*log10(value_range) - 10*log10(MSE).
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "common/types.hpp"
+
+namespace repro::metrics {
+
+struct ErrorStats {
+  double max_abs = 0.0;       ///< max |orig - recon| over finite pairs
+  double max_rel = 0.0;       ///< max relative error over nonzero finite origs
+  double mse = 0.0;           ///< mean squared error over finite pairs
+  double psnr = 0.0;          ///< range-based peak signal-to-noise ratio (dB)
+  double value_range = 0.0;   ///< max - min of the finite original values
+  std::size_t count = 0;      ///< values compared
+  std::size_t nonfinite_mismatches = 0;  ///< NaN<->number or inf sign flips
+  std::size_t sign_flips = 0;            ///< finite values whose sign flipped
+};
+
+ErrorStats compute_stats(std::span<const float> orig, std::span<const float> recon);
+ErrorStats compute_stats(std::span<const double> orig, std::span<const double> recon);
+
+/// Count of values violating the given point-wise bound. 0 means the bound
+/// held everywhere. `eb` selects the check:
+///   ABS: |o - r| <= eps
+///   REL: same sign and |o|/(1+eps) <= |r| <= |o|*(1+eps)
+///        (zero must reconstruct to zero, NaN to NaN, inf to same-signed inf)
+///   NOA: |o - r| <= eps * (max_finite(o) - min_finite(o))
+std::size_t count_violations(std::span<const float> orig, std::span<const float> recon,
+                             double eps, EbType eb);
+std::size_t count_violations(std::span<const double> orig, std::span<const double> recon,
+                             double eps, EbType eb);
+
+/// Compression ratio, higher is better (paper Section IV).
+inline double compression_ratio(std::size_t uncompressed_bytes, std::size_t compressed_bytes) {
+  return compressed_bytes ? static_cast<double>(uncompressed_bytes) /
+                                static_cast<double>(compressed_bytes)
+                          : 0.0;
+}
+
+/// Geometric mean; the paper summarizes per-suite results with nested
+/// geometric means (Section IV).
+double geomean(std::span<const double> xs);
+
+}  // namespace repro::metrics

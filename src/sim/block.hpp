@@ -1,0 +1,44 @@
+// Block-level primitives of the CUDA implementation, simulated.
+//
+// The GPU decoder needs block-wide prefix sums (delta reconstruction, and
+// locating each thread's bytes in the zero-elimination bitmaps, Section
+// III-E). We simulate the classic Hillis–Steele scan a thread block would
+// run over shared memory; the simulation is sequentialized but follows the
+// stepwise structure so the arithmetic (and thus any overflow behaviour)
+// matches the device algorithm.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace repro::sim {
+
+/// In-place inclusive scan, Hillis–Steele structure (double-buffered shared
+/// memory, log2(n) rounded-up steps).
+template <typename U>
+void block_inclusive_scan(U* a, std::size_t n) {
+  if (n < 2) return;
+  std::vector<U> other(n);
+  U* src = a;
+  U* dst = other.data();
+  for (std::size_t stride = 1; stride < n; stride <<= 1) {
+    for (std::size_t i = 0; i < n; ++i)
+      dst[i] = i >= stride ? static_cast<U>(src[i] + src[i - stride]) : src[i];
+    std::swap(src, dst);
+  }
+  if (src != a)
+    for (std::size_t i = 0; i < n; ++i) a[i] = src[i];
+}
+
+/// Exclusive scan built on the inclusive scan (shift by one, identity 0).
+template <typename U>
+void block_exclusive_scan(U* a, std::size_t n) {
+  if (n == 0) return;
+  block_inclusive_scan(a, n);
+  for (std::size_t i = n; i-- > 1;) a[i] = a[i - 1];
+  a[0] = 0;
+}
+
+}  // namespace repro::sim

@@ -1,0 +1,53 @@
+#include "sim/gpu_model.hpp"
+
+#include <algorithm>
+
+namespace repro::sim {
+
+std::vector<GpuSpec> paper_gpus() {
+  // Specs per vendor documentation; Table I covers the 4090 and A100, the
+  // other three come from Section V-F.
+  return {
+      {"TITAN Xp", 30, 128, 1.58, 1024, 2048, 547.6, 2017},
+      {"RTX 2070 Super", 40, 64, 1.77, 1024, 1024, 448.0, 2019},
+      {"RTX 3080 Ti", 80, 128, 1.67, 1024, 1536, 912.4, 2021},
+      {"RTX 4090", 128, 128, 2.52, 1024, 1536, 1008.0, 2022},
+      {"A100 40GB", 108, 64, 1.41, 1024, 2048, 1555.0, 2020},
+  };
+}
+
+std::vector<GpuPrediction> predict(int block_threads, double bytes_per_op) {
+  std::vector<GpuPrediction> out;
+  double best = 0;
+  for (const GpuSpec& g : paper_gpus()) {
+    GpuPrediction p;
+    p.spec = g;
+    // Resident threads per SM: bounded by the SM's thread capacity and by
+    // how many of PFPL's blocks fit given the per-block thread limit. When
+    // the hardware caps blocks at fewer threads than PFPL wants
+    // (block_threads > max_threads_per_block), the block is split and block
+    // scheduling limits (at most ~2 large blocks resident) strand capacity —
+    // the 2070 Super effect the paper describes.
+    int threads_per_launch = std::min(block_threads, g.max_threads_per_block);
+    int resident_blocks = std::max(1, g.max_threads_per_sm / threads_per_launch);
+    // Large-block kernels cannot co-schedule many blocks; cap at 2 like the
+    // occupancy limits of PFPL's shared-memory-heavy kernels.
+    resident_blocks = std::min(resident_blocks, 2);
+    int resident_threads = threads_per_launch * resident_blocks;
+    resident_threads = std::min(resident_threads, g.max_threads_per_sm);
+    p.compute_score = static_cast<double>(g.sms) * resident_threads * g.boost_clock_ghz;
+    // Memory roofline: ops/s the DRAM could feed at this intensity. PFPL
+    // reads and writes each byte once; intensity is low, so this cap is far
+    // above the compute score on every tested GPU.
+    p.mem_score = bytes_per_op > 0 ? g.mem_bw_gbs * 1e9 / bytes_per_op / 1e6 : 1e300;
+    double score = std::min(p.compute_score, p.mem_score);
+    p.memory_bound = p.mem_score < p.compute_score;
+    p.predicted_rel = score;
+    best = std::max(best, score);
+    out.push_back(p);
+  }
+  for (auto& p : out) p.predicted_rel /= best;
+  return out;
+}
+
+}  // namespace repro::sim

@@ -1,0 +1,50 @@
+// Analytical GPU performance model for PFPL (paper Section V-F).
+//
+// The paper evaluates PFPL on five GPUs (TITAN Xp, RTX 2070 Super,
+// RTX 3080 Ti, RTX 4090, A100) and concludes that "the performance
+// correlates primarily with the amount of compute provided by the GPU" —
+// not memory bandwidth (only 15% DRAM utilization on the A100) — and that
+// the 2070 Super's 1024-thread block limit reduces resident parallelism
+// enough to make it perform like the 3-year-older TITAN Xp.
+//
+// This module reproduces that reasoning as a model: throughput is
+// proportional to resident-thread compute capacity
+//     SMs x min(threads_per_SM, blocks_per_SM * threads_per_block) x clock
+// with a memory-bandwidth roofline that (per the paper) never binds at
+// PFPL's ~0.5 byte/op intensity. The bench prints predicted relative
+// performance next to the paper's qualitative ordering.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace repro::sim {
+
+struct GpuSpec {
+  std::string name;
+  int sms;                    ///< streaming multiprocessors
+  int cuda_cores_per_sm;
+  double boost_clock_ghz;
+  int max_threads_per_block;  ///< limits PFPL's chosen block size
+  int max_threads_per_sm;
+  double mem_bw_gbs;          ///< DRAM bandwidth
+  int release_year;
+};
+
+/// The five GPUs of Section V-F / Table I.
+std::vector<GpuSpec> paper_gpus();
+
+struct GpuPrediction {
+  GpuSpec spec;
+  double compute_score;    ///< resident threads x clock (arbitrary units)
+  double mem_score;        ///< bandwidth-roofline cap (same units)
+  double predicted_rel;    ///< min(compute, mem) normalized to the fastest
+  bool memory_bound;       ///< whether the roofline binds (paper: never)
+};
+
+/// Evaluate the model. `block_threads` is PFPL's kernel block size (the
+/// paper's implementation uses more than 1024 threads per block where the
+/// hardware allows it); `bytes_per_op` is PFPL's measured memory intensity.
+std::vector<GpuPrediction> predict(int block_threads = 2048, double bytes_per_op = 0.15);
+
+}  // namespace repro::sim

@@ -1,0 +1,241 @@
+// GPU-algorithm chunk kernels (simulated), paper Section III-E.
+//
+// These functions re-express the PFPL chunk pipeline the way the CUDA
+// kernels compute it — per-thread work assignments, warp-shuffle bit
+// transposes, block-wide prefix sums for output placement — instead of the
+// sequential CPU loops in core/pipeline.hpp. They must produce *byte
+// identical* chunk payloads; the test suite asserts this, which is the
+// reproduction of the paper's CPU/GPU bit-compatibility guarantee.
+//
+// This is a functional simulation: one OS thread plays all lanes/threads of
+// a block in lockstep. Timing is meaningless; only the algorithm and its
+// output bytes are validated.
+#pragma once
+
+#include <cstring>
+#include <vector>
+
+#include "bits/negabinary.hpp"
+#include "common/types.hpp"
+#include "core/pipeline.hpp"
+#include "sim/block.hpp"
+#include "sim/warp.hpp"
+
+namespace repro::sim {
+
+namespace detail {
+
+/// GPU-style zero-byte bitmap construction: each thread owns 8 consecutive
+/// bytes ("we assign 8 consecutive bytes to each thread" — no atomics
+/// needed), per-thread survivor counts are combined with a block-wide
+/// exclusive scan, and survivors are scattered to their final offsets.
+inline void gpu_mark_nonzero(const u8* data, std::size_t n, std::vector<u8>& bitmap,
+                             std::vector<u8>& survivors) {
+  const std::size_t threads = (n + 7) / 8;
+  bitmap.assign(threads, 0);
+  std::vector<u32> counts(threads + 1, 0);
+  for (std::size_t t = 0; t < threads; ++t) {  // parallel on the device
+    u8 bm = 0;
+    u32 cnt = 0;
+    for (std::size_t j = 0; j < 8; ++j) {
+      std::size_t i = t * 8 + j;
+      if (i < n && data[i] != 0) {
+        bm |= static_cast<u8>(1u << j);
+        ++cnt;
+      }
+    }
+    bitmap[t] = bm;
+    counts[t] = cnt;
+  }
+  block_exclusive_scan(counts.data(), threads + 1);
+  // counts[threads] now holds the total (the scan input had a 0 sentinel).
+  survivors.resize(counts[threads]);
+  for (std::size_t t = 0; t < threads; ++t) {  // scatter phase
+    u32 w = counts[t];
+    for (std::size_t j = 0; j < 8; ++j) {
+      std::size_t i = t * 8 + j;
+      if (i < n && data[i] != 0) survivors[w++] = data[i];
+    }
+  }
+}
+
+/// GPU-style repeat bitmap: bit i set iff byte i differs from byte i-1
+/// (byte -1 := 0). Each thread reads its 8 bytes plus the left neighbour —
+/// no serial dependence, unlike the CPU formulation with a running `prev`.
+inline void gpu_mark_nonrepeat(const u8* data, std::size_t n, std::vector<u8>& bitmap,
+                               std::vector<u8>& survivors) {
+  const std::size_t threads = (n + 7) / 8;
+  bitmap.assign(threads, 0);
+  std::vector<u32> counts(threads, 0);
+  for (std::size_t t = 0; t < threads; ++t) {
+    u8 bm = 0;
+    u32 cnt = 0;
+    for (std::size_t j = 0; j < 8; ++j) {
+      std::size_t i = t * 8 + j;
+      if (i >= n) break;
+      u8 prev = i == 0 ? u8{0} : data[i - 1];
+      if (data[i] != prev) {
+        bm |= static_cast<u8>(1u << j);
+        ++cnt;
+      }
+    }
+    bitmap[t] = bm;
+    counts[t] = cnt;
+  }
+  std::vector<u32> offs(counts);
+  block_exclusive_scan(offs.data(), threads);
+  u32 total = 0;
+  for (std::size_t t = 0; t < threads; ++t) total += counts[t];
+  survivors.resize(total);
+  for (std::size_t t = 0; t < threads; ++t) {
+    u32 w = offs[t];
+    for (std::size_t j = 0; j < 8; ++j) {
+      std::size_t i = t * 8 + j;
+      if (i >= n) break;
+      u8 prev = i == 0 ? u8{0} : data[i - 1];
+      if (data[i] != prev) survivors[w++] = data[i];
+    }
+  }
+}
+
+/// Decode one bitmap level: reconstruct `n` bytes from a repeat bitmap and
+/// its survivor bytes using a block-wide rank scan (prefix popcount), the way
+/// the GPU decoder locates each thread's bytes.
+inline void gpu_expand_repeat(const std::vector<u8>& bitmap, const u8* survivors,
+                              std::size_t survivor_count, std::vector<u8>& out,
+                              std::size_t n) {
+  std::vector<u32> rank(n + 1, 0);
+  for (std::size_t i = 0; i < n; ++i) rank[i + 1] = (bitmap[i >> 3] >> (i & 7)) & 1u;
+  block_inclusive_scan(rank.data(), n + 1);
+  out.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {  // each thread resolves its bytes
+    u32 r = rank[i + 1];
+    if (r == 0) {
+      out[i] = 0;  // nothing changed yet: initial value
+    } else {
+      if (r > survivor_count) throw CompressionError("gpu_expand_repeat: corrupt stream");
+      out[i] = survivors[r - 1];
+    }
+  }
+}
+
+/// Expand the data bytes from the zero-byte bitmap with a rank scan.
+inline void gpu_expand_zero(const std::vector<u8>& bitmap, const u8* nonzero,
+                            std::size_t nonzero_count, u8* out, std::size_t n) {
+  std::vector<u32> rank(n + 1, 0);
+  for (std::size_t i = 0; i < n; ++i) rank[i + 1] = (bitmap[i >> 3] >> (i & 7)) & 1u;
+  block_inclusive_scan(rank.data(), n + 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    if ((bitmap[i >> 3] >> (i & 7)) & 1u) {
+      u32 r = rank[i + 1];
+      if (r > nonzero_count) throw CompressionError("gpu_expand_zero: corrupt stream");
+      out[i] = nonzero[r - 1];
+    } else {
+      out[i] = 0;
+    }
+  }
+}
+
+}  // namespace detail
+
+/// GPU-structured zero-byte elimination; byte-identical to
+/// bits::zerobyte_encode.
+inline void gpu_zerobyte_encode(const u8* data, std::size_t n, std::vector<u8>& out) {
+  std::vector<u8> bitmaps[bits::kZeroByteLevels + 1];
+  std::vector<u8> repeats[bits::kZeroByteLevels];
+  std::vector<u8> nonzero;
+  detail::gpu_mark_nonzero(data, n, bitmaps[0], nonzero);
+  for (int lvl = 0; lvl < bits::kZeroByteLevels; ++lvl)
+    detail::gpu_mark_nonrepeat(bitmaps[lvl].data(), bitmaps[lvl].size(), bitmaps[lvl + 1],
+                               repeats[lvl]);
+  const std::vector<u8>& top = bitmaps[bits::kZeroByteLevels];
+  out.insert(out.end(), top.begin(), top.end());
+  for (int lvl = bits::kZeroByteLevels - 1; lvl >= 0; --lvl)
+    out.insert(out.end(), repeats[lvl].begin(), repeats[lvl].end());
+  out.insert(out.end(), nonzero.begin(), nonzero.end());
+}
+
+/// GPU-structured zero-byte decoding; consumes the same stream as
+/// bits::zerobyte_decode. Returns bytes consumed.
+inline std::size_t gpu_zerobyte_decode(const u8* in, std::size_t in_size, u8* data,
+                                       std::size_t n) {
+  std::size_t sizes[bits::kZeroByteLevels + 1];
+  sizes[0] = (n + 7) / 8;
+  for (int lvl = 1; lvl <= bits::kZeroByteLevels; ++lvl) sizes[lvl] = (sizes[lvl - 1] + 7) / 8;
+  std::size_t pos = 0;
+  auto take = [&](std::size_t k) {
+    if (pos + k > in_size) throw CompressionError("gpu_zerobyte_decode: truncated stream");
+    const u8* p = in + pos;
+    pos += k;
+    return p;
+  };
+  const u8* top = take(sizes[bits::kZeroByteLevels]);
+  std::vector<u8> upper(top, top + sizes[bits::kZeroByteLevels]);
+  for (int lvl = bits::kZeroByteLevels - 1; lvl >= 0; --lvl) {
+    std::size_t survivors = 0;
+    for (std::size_t i = 0; i < sizes[lvl]; ++i)
+      survivors += (upper[i >> 3] >> (i & 7)) & 1u;
+    const u8* r = take(survivors);
+    std::vector<u8> cur;
+    detail::gpu_expand_repeat(upper, r, survivors, cur, sizes[lvl]);
+    upper = std::move(cur);
+  }
+  std::size_t nz = 0;
+  for (std::size_t i = 0; i < n; ++i) nz += (upper[i >> 3] >> (i & 7)) & 1u;
+  const u8* z = take(nz);
+  detail::gpu_expand_zero(upper, z, nz, data, n);
+  return pos;
+}
+
+/// Full GPU-structured chunk encode. Same contract (and same bytes) as
+/// pfpl::chunk_encode: returns true when stored compressed, false when the
+/// raw fallback fires.
+template <typename U>
+bool gpu_chunk_encode(const U* words, std::size_t k, std::vector<u8>& out) {
+  const std::size_t padded = pfpl::padded_words<U>(k);
+  constexpr std::size_t tile = pfpl::tile_words<U>();
+  std::vector<U> buf(padded, U{0});
+  // Delta + negabinary, embarrassingly parallel: each thread reads its word
+  // and its left neighbour (no running state).
+  for (std::size_t i = 0; i < padded; ++i) {
+    U cur = i < k ? words[i] : U{0};
+    U prev = (i == 0) ? U{0} : (i - 1 < k ? words[i - 1] : U{0});
+    buf[i] = bits::to_negabinary<U>(static_cast<U>(cur - prev));
+  }
+  // Warp-granularity bit shuffle: one simulated warp per tile.
+  for (std::size_t w = 0; w < padded; w += tile) warp_transpose_bits(buf.data() + w);
+  const std::size_t start = out.size();
+  gpu_zerobyte_encode(reinterpret_cast<const u8*>(buf.data()), padded * sizeof(U), out);
+  if (out.size() - start >= k * sizeof(U)) {
+    out.resize(start);
+    out.insert(out.end(), reinterpret_cast<const u8*>(words),
+               reinterpret_cast<const u8*>(words) + k * sizeof(U));
+    return false;
+  }
+  return true;
+}
+
+/// Full GPU-structured chunk decode; same contract as pfpl::chunk_decode.
+/// The delta reconstruction uses a block-wide inclusive scan, which is the
+/// reason the paper's GPU decompressor is slower than its compressor.
+template <typename U>
+std::size_t gpu_chunk_decode(const u8* in, std::size_t in_size, bool compressed, U* words,
+                             std::size_t k) {
+  if (!compressed) {
+    if (in_size < k * sizeof(U)) throw CompressionError("gpu_chunk_decode: truncated raw chunk");
+    std::memcpy(words, in, k * sizeof(U));
+    return k * sizeof(U);
+  }
+  const std::size_t padded = pfpl::padded_words<U>(k);
+  constexpr std::size_t tile = pfpl::tile_words<U>();
+  std::vector<U> buf(padded);
+  std::size_t used =
+      gpu_zerobyte_decode(in, in_size, reinterpret_cast<u8*>(buf.data()), padded * sizeof(U));
+  for (std::size_t w = 0; w < padded; w += tile) warp_transpose_bits(buf.data() + w);
+  for (std::size_t i = 0; i < padded; ++i) buf[i] = bits::from_negabinary<U>(buf[i]);
+  block_inclusive_scan(buf.data(), padded);  // prefix sum rebuilds the values
+  std::memcpy(words, buf.data(), k * sizeof(U));
+  return used;
+}
+
+}  // namespace repro::sim

@@ -1,0 +1,73 @@
+#include "sim/lookback.hpp"
+
+#include <stdexcept>
+
+namespace repro::sim {
+
+namespace {
+enum class State : u8 { Invalid, Aggregate, Prefix };
+}
+
+std::vector<u64> lookback_exclusive_offsets(const std::vector<u64>& sizes, std::size_t wave) {
+  const std::size_t n = sizes.size();
+  std::vector<u64> exclusive(n, 0);
+  if (n == 0) return exclusive;
+  if (wave == 0) wave = 1;
+
+  std::vector<State> state(n, State::Invalid);
+  std::vector<u64> aggregate(n, 0);
+  std::vector<u64> inclusive(n, 0);
+  std::vector<bool> done(n, false);
+  std::size_t remaining = n;
+
+  // Round-robin scheduler over a sliding window of `wave` resident blocks.
+  std::size_t guard = 0;
+  while (remaining > 0) {
+    if (++guard > 64 * n + 64) throw std::logic_error("lookback: no forward progress");
+    for (std::size_t b = 0; b < n && remaining > 0; ++b) {
+      if (done[b]) continue;
+      // Only blocks within the resident window may run; the window advances
+      // as earlier blocks retire.
+      std::size_t lowest_live = 0;
+      while (lowest_live < n && done[lowest_live]) ++lowest_live;
+      if (b >= lowest_live + wave) break;
+      if (state[b] == State::Invalid) {
+        aggregate[b] = sizes[b];  // local reduction of the block's sizes
+        state[b] = State::Aggregate;
+      }
+      if (b == 0) {
+        inclusive[0] = aggregate[0];
+        exclusive[0] = 0;
+        state[0] = State::Prefix;
+        done[0] = true;
+        --remaining;
+        continue;
+      }
+      // Look back: sum predecessor aggregates until a full prefix is found.
+      u64 running = 0;
+      bool complete = false;
+      for (std::size_t p = b; p-- > 0;) {
+        if (state[p] == State::Prefix) {
+          running += inclusive[p];
+          complete = true;
+          break;
+        }
+        if (state[p] == State::Aggregate) {
+          running += aggregate[p];
+          continue;
+        }
+        break;  // predecessor not published yet: spin (retry next slice)
+      }
+      if (complete) {
+        exclusive[b] = running;
+        inclusive[b] = running + aggregate[b];
+        state[b] = State::Prefix;
+        done[b] = true;
+        --remaining;
+      }
+    }
+  }
+  return exclusive;
+}
+
+}  // namespace repro::sim

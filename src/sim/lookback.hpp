@@ -1,0 +1,27 @@
+// Decoupled look-back prefix sum (Merrill & Garland), simulated.
+//
+// On the GPU, compressed chunk concatenation propagates the cumulative size
+// of all prior chunks to each thread block with the single-pass decoupled
+// look-back technique (paper Section III-E). Each block publishes its local
+// aggregate, then walks backwards over predecessor descriptors, summing
+// aggregates until it finds one with a full inclusive prefix.
+//
+// The simulation runs blocks in a configurable interleaved schedule; a block
+// that cannot complete its look-back yet (a predecessor has not published)
+// simply retries on its next time slice, mimicking the device's spin.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace repro::sim {
+
+/// Compute exclusive prefix offsets of `sizes` via decoupled look-back.
+/// `wave` controls how many blocks are "resident" per scheduling round
+/// (models the number of concurrently resident thread blocks).
+std::vector<u64> lookback_exclusive_offsets(const std::vector<u64>& sizes,
+                                            std::size_t wave = 8);
+
+}  // namespace repro::sim

@@ -1,0 +1,44 @@
+// Warp-level primitives of the CUDA implementation, simulated in lockstep.
+//
+// The paper's GPU bit-shuffle "operate[s] at warp granularity, where each
+// warp is independently responsible for a chunk of 32 or 64 values. They
+// employ log2(wordsize) shuffling steps, which are implemented using warp
+// shuffle instructions" (Section III-E). We model a warp as `wordbits` lanes
+// executing in lockstep; `shfl_xor` is a plain array read of the partner
+// lane. The point of this module is to run the *GPU algorithm* — the same
+// butterfly exchange network the CUDA kernels use — and let the test suite
+// assert that its output is bit-for-bit identical to the CPU pipeline.
+#pragma once
+
+#include <array>
+#include <cstddef>
+
+#include "common/types.hpp"
+
+namespace repro::sim {
+
+/// Butterfly (masked-swap) bit transpose across one simulated warp.
+/// `lane[i]` holds the register of lane i; all lanes advance together through
+/// the log2(W) shuffle steps exactly as the SIMT code would.
+template <typename U>
+void warp_transpose_bits(U* lane) {
+  constexpr u32 W = sizeof(U) * 8;
+  U m = static_cast<U>((~U{0}) >> (W / 2));  // low-half mask
+  for (u32 j = W / 2; j != 0; j >>= 1, m ^= static_cast<U>(m << j)) {
+    std::array<U, W> next;
+    for (u32 k = 0; k < W; ++k) {
+      U mine = lane[k];
+      U other = lane[k ^ j];  // __shfl_xor_sync(mask, mine, j)
+      if ((k & j) == 0) {
+        U t = static_cast<U>((mine ^ (other >> j)) & m);
+        next[k] = mine ^ t;
+      } else {
+        U t = static_cast<U>((other ^ (mine >> j)) & m);
+        next[k] = mine ^ static_cast<U>(t << j);
+      }
+    }
+    for (u32 k = 0; k < W; ++k) lane[k] = next[k];
+  }
+}
+
+}  // namespace repro::sim

@@ -1,0 +1,113 @@
+// Tests for the benchmark harness itself: the sweep engine feeds
+// EXPERIMENTS.md, so its aggregation (nested geometric means), compressor
+// filtering, and Pareto-front marking must be correct.
+#include <gtest/gtest.h>
+
+#include "harness.hpp"
+
+using namespace repro;
+using namespace repro::bench;
+
+namespace {
+
+SweepConfig tiny(EbType eb, DType dt) {
+  SweepConfig cfg;
+  cfg.eb = eb;
+  cfg.dtype = dt;
+  cfg.bounds = {1e-2};
+  cfg.target_values = 1 << 12;
+  cfg.max_files = 1;
+  cfg.runs = 1;
+  return cfg;
+}
+
+}  // namespace
+
+TEST(Harness, ParseArgs) {
+  const char* argv[] = {"prog", "--target", "1234", "--files", "5", "--runs", "7"};
+  SweepConfig cfg = parse_args(7, const_cast<char**>(argv), {});
+  EXPECT_EQ(cfg.target_values, 1234u);
+  EXPECT_EQ(cfg.max_files, 5);
+  EXPECT_EQ(cfg.runs, 7);
+  const char* argv2[] = {"prog", "--full"};
+  SweepConfig full = parse_args(2, const_cast<char**>(argv2), {});
+  EXPECT_EQ(full.runs, 9);  // the paper's 9-run protocol
+}
+
+TEST(Harness, SweepFiltersByCapability) {
+  // A REL sweep must only contain the REL-capable compressors
+  // (PFPL x3, SZ2, ZFP).
+  auto rows = run_sweep(tiny(EbType::REL, DType::F32));
+  ASSERT_FALSE(rows.empty());
+  for (const Row& r : rows) {
+    EXPECT_TRUE(r.compressor.rfind("PFPL", 0) == 0 || r.compressor == "SZ2_Serial" ||
+                r.compressor == "ZFP_Serial")
+        << r.compressor;
+    EXPECT_GT(r.ratio, 0);
+    EXPECT_GT(r.comp_mbps, 0);
+    EXPECT_GT(r.decomp_mbps, 0);
+  }
+}
+
+TEST(Harness, SweepRespectsExcludeList) {
+  SweepConfig cfg = tiny(EbType::ABS, DType::F32);
+  cfg.exclude_compressors = {"SZ2_Serial", "ZFP_Serial"};
+  for (const Row& r : run_sweep(cfg)) {
+    EXPECT_NE(r.compressor, "SZ2_Serial");
+    EXPECT_NE(r.compressor, "ZFP_Serial");
+  }
+}
+
+TEST(Harness, SweepRespectsOnlyList) {
+  SweepConfig cfg = tiny(EbType::ABS, DType::F32);
+  cfg.only_compressors = {"PFPL_Serial"};
+  auto rows = run_sweep(cfg);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].compressor, "PFPL_Serial");
+}
+
+TEST(Harness, F64SweepSkipsFloatOnlyCodecs) {
+  for (const Row& r : run_sweep(tiny(EbType::NOA, DType::F64)))
+    EXPECT_NE(r.compressor, "FZ-GPU_CUDAsim");  // float-only per Table III
+}
+
+TEST(Harness, PfplExecutorsReportIdenticalRatios) {
+  SweepConfig cfg = tiny(EbType::ABS, DType::F32);
+  cfg.only_compressors = {"PFPL_Serial", "PFPL_OMP", "PFPL_CUDAsim"};
+  auto rows = run_sweep(cfg);
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_DOUBLE_EQ(rows[0].ratio, rows[1].ratio);
+  EXPECT_DOUBLE_EQ(rows[0].ratio, rows[2].ratio);
+}
+
+TEST(Harness, GuaranteedCompressorsReportZeroViolations) {
+  for (EbType eb : {EbType::ABS, EbType::REL, EbType::NOA}) {
+    SweepConfig cfg = tiny(eb, DType::F32);
+    cfg.only_compressors = {"PFPL_Serial"};
+    for (const Row& r : run_sweep(cfg)) EXPECT_EQ(r.violations, 0u) << to_string(eb);
+  }
+}
+
+TEST(Harness, ParetoMarking) {
+  std::vector<Row> rows(3);
+  rows[0] = {.compressor = "a", .eb = 0.1, .ratio = 10, .comp_mbps = 100, .decomp_mbps = 50};
+  rows[1] = {.compressor = "b", .eb = 0.1, .ratio = 5, .comp_mbps = 200, .decomp_mbps = 100};
+  rows[2] = {.compressor = "c", .eb = 0.1, .ratio = 4, .comp_mbps = 150, .decomp_mbps = 60};
+  mark_pareto(rows);
+  EXPECT_TRUE(rows[0].pareto_compress);   // best ratio
+  EXPECT_TRUE(rows[1].pareto_compress);   // best throughput
+  EXPECT_FALSE(rows[2].pareto_compress);  // dominated by b
+  EXPECT_TRUE(rows[0].pareto_decompress);
+  EXPECT_TRUE(rows[1].pareto_decompress);
+  EXPECT_FALSE(rows[2].pareto_decompress);
+}
+
+TEST(Harness, ParetoIsPerBound) {
+  std::vector<Row> rows(2);
+  rows[0] = {.compressor = "a", .eb = 0.1, .ratio = 1, .comp_mbps = 1, .decomp_mbps = 1};
+  rows[1] = {.compressor = "b", .eb = 0.01, .ratio = 100, .comp_mbps = 100, .decomp_mbps = 100};
+  mark_pareto(rows);
+  // Different bounds never dominate each other.
+  EXPECT_TRUE(rows[0].pareto_compress);
+  EXPECT_TRUE(rows[1].pareto_compress);
+}

@@ -1,0 +1,197 @@
+// Tests for the bit-level kernels of the lossless pipeline (paper III-D).
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "bits/bitshuffle.hpp"
+#include "bits/delta.hpp"
+#include "bits/negabinary.hpp"
+#include "bits/zerobyte.hpp"
+#include "data/rng.hpp"
+
+using namespace repro;
+using namespace repro::bits;
+
+// --- negabinary ------------------------------------------------------------
+
+TEST(Negabinary, KnownSmallValues) {
+  // Base -2: 1 = 1, -1 = 11b = 3, 2 = 110b = 6, -2 = 10b = 2, 3 = 111b = 7.
+  EXPECT_EQ(to_negabinary<u32>(0u), 0u);
+  EXPECT_EQ(to_negabinary<u32>(1u), 1u);
+  EXPECT_EQ(to_negabinary<u32>(static_cast<u32>(-1)), 3u);
+  EXPECT_EQ(to_negabinary<u32>(2u), 6u);
+  EXPECT_EQ(to_negabinary<u32>(static_cast<u32>(-2)), 2u);
+  EXPECT_EQ(to_negabinary<u32>(3u), 7u);
+}
+
+TEST(Negabinary, SmallMagnitudesHaveFewBits) {
+  // The property the pipeline exploits: values in [-2^(k-1), 2^(k-1)) fit in
+  // ~k negabinary bits whether positive or negative.
+  for (i32 v = -128; v <= 127; ++v) {
+    u32 nb = to_negabinary<u32>(static_cast<u32>(v));
+    EXPECT_LT(nb, 1u << 9) << v;
+  }
+}
+
+TEST(Negabinary, RoundTripExhaustive16Bit) {
+  for (u32 v = 0; v <= 0xFFFFu; ++v) {
+    u32 x = v << 13;  // spread across the word
+    EXPECT_EQ(from_negabinary(to_negabinary(x)), x);
+  }
+}
+
+TEST(Negabinary, RoundTripRandom64) {
+  data::Rng rng(3);
+  for (int i = 0; i < 200000; ++i) {
+    u64 x = rng.next_u64();
+    EXPECT_EQ(from_negabinary(to_negabinary(x)), x);
+  }
+}
+
+// --- delta -----------------------------------------------------------------
+
+TEST(Delta, EncodeMatchesPaperExample) {
+  // Paper Figure 3: 3, 4, 4, 3 -> deltas 3, 1, 0, -1.
+  std::vector<u32> w{3, 4, 4, 3};
+  delta_negabinary_encode(w.data(), w.size());
+  EXPECT_EQ(from_negabinary(w[0]), 3u);
+  EXPECT_EQ(from_negabinary(w[1]), 1u);
+  EXPECT_EQ(from_negabinary(w[2]), 0u);
+  EXPECT_EQ(from_negabinary(w[3]), static_cast<u32>(-1));
+}
+
+template <typename U>
+void delta_roundtrip_case(u64 seed, std::size_t n) {
+  data::Rng rng(seed);
+  std::vector<U> w(n), orig;
+  for (auto& x : w) x = static_cast<U>(rng.next_u64());
+  orig = w;
+  delta_negabinary_encode(w.data(), n);
+  delta_negabinary_decode(w.data(), n);
+  EXPECT_EQ(w, orig);
+}
+
+TEST(Delta, RoundTrip32) { delta_roundtrip_case<u32>(5, 4096); }
+TEST(Delta, RoundTrip64) { delta_roundtrip_case<u64>(6, 2048); }
+TEST(Delta, RoundTripShort) {
+  delta_roundtrip_case<u32>(7, 1);
+  delta_roundtrip_case<u32>(8, 2);
+  delta_roundtrip_case<u64>(9, 3);
+}
+
+// --- bit shuffle -------------------------------------------------------------
+
+TEST(BitShuffle, Transpose32MovesSingleBitsToMirroredPosition) {
+  // The masked-swap network maps bit (row r, bit position c) to
+  // (row 31-c, bit position 31-r): verify exhaustively for single bits,
+  // which pins down the exact permutation (population is preserved and the
+  // map is an involution).
+  for (int r = 0; r < 32; ++r)
+    for (int c = 0; c < 32; ++c) {
+      u32 a[32] = {};
+      a[r] = 1u << c;
+      transpose_bits_32(a);
+      int total = 0;
+      for (int i = 0; i < 32; ++i) total += __builtin_popcount(a[i]);
+      ASSERT_EQ(total, 1);
+      EXPECT_EQ(a[31 - c], 1u << (31 - r)) << "r=" << r << " c=" << c;
+      transpose_bits_32(a);
+      for (int i = 0; i < 32; ++i) ASSERT_EQ(a[i], i == r ? (1u << c) : 0u);
+    }
+}
+
+TEST(BitShuffle, SelfInverse32) {
+  data::Rng rng(10);
+  std::vector<u32> w(32 * 64), orig;
+  for (auto& x : w) x = static_cast<u32>(rng.next_u64());
+  orig = w;
+  bitshuffle(w.data(), w.size());
+  EXPECT_NE(w, orig);  // it really did something
+  bitshuffle(w.data(), w.size());
+  EXPECT_EQ(w, orig);
+}
+
+TEST(BitShuffle, SelfInverse64) {
+  data::Rng rng(11);
+  std::vector<u64> w(64 * 16), orig;
+  for (auto& x : w) x = rng.next_u64();
+  orig = w;
+  bitshuffle(w.data(), w.size());
+  bitshuffle(w.data(), w.size());
+  EXPECT_EQ(w, orig);
+}
+
+TEST(BitShuffle, GroupsLeadingZeros) {
+  // 32 words each with only low 4 bits set -> after shuffle, 28/32 of the
+  // output words must be exactly zero (the high bit-planes).
+  std::vector<u32> w(32);
+  data::Rng rng(12);
+  for (auto& x : w) x = static_cast<u32>(rng.next_u64()) & 0xFu;
+  bitshuffle(w.data(), 32);
+  int zeros = 0;
+  for (u32 x : w) zeros += x == 0;
+  EXPECT_GE(zeros, 28);
+}
+
+// --- zero-byte elimination --------------------------------------------------
+
+void zb_roundtrip(const std::vector<u8>& data) {
+  std::vector<u8> enc;
+  zerobyte_encode(data.data(), data.size(), enc);
+  std::vector<u8> dec(data.size(), 0xCD);
+  std::size_t used = zerobyte_decode(enc.data(), enc.size(), dec.data(), data.size());
+  EXPECT_EQ(used, enc.size());
+  EXPECT_EQ(dec, data);
+}
+
+TEST(ZeroByte, AllZeros) {
+  std::vector<u8> d(16384, 0);
+  std::vector<u8> enc;
+  zerobyte_encode(d.data(), d.size(), enc);
+  // 16 KiB of zeros collapse to just the (few-byte) top bitmap.
+  EXPECT_LE(enc.size(), 8u);
+  zb_roundtrip(d);
+}
+
+TEST(ZeroByte, AllNonZero) {
+  std::vector<u8> d(16384);
+  data::Rng rng(13);
+  for (auto& b : d) b = static_cast<u8>(rng.next_u64() | 1);
+  std::vector<u8> enc;
+  zerobyte_encode(d.data(), d.size(), enc);
+  // Expansion is bounded by the bitmap chain (~ n/8 * 8/7 + levels).
+  EXPECT_LE(enc.size(), d.size() + d.size() / 7 + 16);
+  zb_roundtrip(d);
+}
+
+TEST(ZeroByte, SparseData) {
+  std::vector<u8> d(16384, 0);
+  data::Rng rng(14);
+  for (int i = 0; i < 100; ++i) d[rng.next_u64() % d.size()] = static_cast<u8>(rng.next_u64());
+  std::vector<u8> enc;
+  zerobyte_encode(d.data(), d.size(), enc);
+  EXPECT_LT(enc.size(), 2048u);  // far below the raw 16 KiB
+  zb_roundtrip(d);
+}
+
+TEST(ZeroByte, OddSizes) {
+  data::Rng rng(15);
+  for (std::size_t n : {std::size_t{0}, std::size_t{1}, std::size_t{7}, std::size_t{8},
+                        std::size_t{9}, std::size_t{63}, std::size_t{65}, std::size_t{1000},
+                        std::size_t{16383}}) {
+    std::vector<u8> d(n);
+    for (auto& b : d) b = static_cast<u8>(rng.next_u64() & (rng.uniform() < 0.5 ? 0 : 0xFF));
+    zb_roundtrip(d);
+  }
+}
+
+TEST(ZeroByte, TruncatedStreamThrows) {
+  std::vector<u8> d(4096);
+  data::Rng rng(16);
+  for (auto& b : d) b = static_cast<u8>(rng.next_u64());
+  std::vector<u8> enc;
+  zerobyte_encode(d.data(), d.size(), enc);
+  std::vector<u8> dec(d.size());
+  EXPECT_THROW(zerobyte_decode(enc.data(), enc.size() / 2, dec.data(), d.size()),
+               CompressionError);
+}

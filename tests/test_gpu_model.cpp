@@ -1,0 +1,58 @@
+// Tests for the Section V-F GPU performance model.
+#include <gtest/gtest.h>
+
+#include "sim/gpu_model.hpp"
+
+using namespace repro::sim;
+
+TEST(GpuModel, FiveGpusOfTheStudy) {
+  auto gpus = paper_gpus();
+  ASSERT_EQ(gpus.size(), 5u);
+  // Table I cross-check: 4090 has 128 SMs @128 cores, A100 108 SMs @64.
+  const GpuSpec* g4090 = nullptr;
+  const GpuSpec* a100 = nullptr;
+  for (const auto& g : gpus) {
+    if (g.name == "RTX 4090") g4090 = &g;
+    if (g.name == "A100 40GB") a100 = &g;
+  }
+  ASSERT_NE(g4090, nullptr);
+  ASSERT_NE(a100, nullptr);
+  EXPECT_EQ(g4090->sms, 128);
+  EXPECT_EQ(g4090->cuda_cores_per_sm, 128);
+  EXPECT_EQ(a100->sms, 108);
+  EXPECT_EQ(a100->cuda_cores_per_sm, 64);
+}
+
+TEST(GpuModel, NeverMemoryBoundAtPfplIntensity) {
+  // Paper: "PFPL is not main-memory bound ... only 15% of the available
+  // DRAM throughput".
+  for (const auto& p : predict()) EXPECT_FALSE(p.memory_bound) << p.spec.name;
+}
+
+TEST(GpuModel, MemoryBoundWhenIntensityIsHigh) {
+  // Sanity: the roofline does bind for a hypothetical byte-hungry kernel.
+  bool any_bound = false;
+  for (const auto& p : predict(2048, /*bytes_per_op=*/64.0)) any_bound |= p.memory_bound;
+  EXPECT_TRUE(any_bound);
+}
+
+TEST(GpuModel, QualitativeOrderingMatchesPaper) {
+  auto preds = predict();
+  auto rel = [&](const std::string& name) {
+    for (const auto& p : preds)
+      if (p.spec.name == name) return p.predicted_rel;
+    ADD_FAILURE() << "missing " << name;
+    return 0.0;
+  };
+  // 4090 fastest; beats the A100 despite lower memory bandwidth.
+  EXPECT_DOUBLE_EQ(rel("RTX 4090"), 1.0);
+  EXPECT_GT(rel("RTX 4090"), rel("A100 40GB"));
+  // 2070 Super lands near the 3-year-older TITAN Xp, below the 3080 Ti.
+  EXPECT_NEAR(rel("RTX 2070 Super"), rel("TITAN Xp"), 0.15);
+  EXPECT_LT(rel("RTX 2070 Super"), rel("RTX 3080 Ti"));
+  // Everything is normalized into (0, 1].
+  for (const auto& p : preds) {
+    EXPECT_GT(p.predicted_rel, 0.0);
+    EXPECT_LE(p.predicted_rel, 1.0);
+  }
+}

@@ -1,0 +1,131 @@
+// Tests for raw-file I/O and the pfpl command-line tool (run end to end via
+// std::system against the built binary).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+
+#include "data/rng.hpp"
+#include "io/raw_file.hpp"
+
+using namespace repro;
+namespace fs = std::filesystem;
+
+namespace {
+
+std::string tmp_path(const std::string& name) {
+  return (fs::temp_directory_path() / ("pfpl_test_" + name)).string();
+}
+
+std::string cli_path() {
+  // Tests run from build/tests; the CLI lives in build/src/cli.
+  for (const char* p : {"src/cli/pfpl", "../src/cli/pfpl", "build/src/cli/pfpl"}) {
+    if (fs::exists(p)) return fs::absolute(p).string();
+  }
+  return "";
+}
+
+int run(const std::string& cmd) { return std::system((cmd + " >/dev/null 2>&1").c_str()); }
+
+}  // namespace
+
+TEST(RawFile, RoundTrip) {
+  std::string path = tmp_path("io_roundtrip.bin");
+  std::vector<float> v(1000);
+  data::Rng rng(1);
+  for (auto& x : v) x = static_cast<float>(rng.gaussian());
+  io::write_file(path, v.data(), v.size() * 4);
+  auto back = io::read_values<float>(path);
+  EXPECT_EQ(back, v);
+  fs::remove(path);
+}
+
+TEST(RawFile, EmptyFile) {
+  std::string path = tmp_path("io_empty.bin");
+  io::write_file(path, nullptr, 0);
+  EXPECT_TRUE(io::read_file(path).empty());
+  fs::remove(path);
+}
+
+TEST(RawFile, MissingFileThrows) {
+  EXPECT_THROW(io::read_file("/nonexistent/path/file.bin"), CompressionError);
+}
+
+TEST(RawFile, MisalignedSizeThrows) {
+  std::string path = tmp_path("io_misaligned.bin");
+  u8 bytes[5] = {1, 2, 3, 4, 5};
+  io::write_file(path, bytes, 5);
+  EXPECT_THROW(io::read_values<float>(path), CompressionError);
+  fs::remove(path);
+}
+
+class CliTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    cli = cli_path();
+    if (cli.empty()) GTEST_SKIP() << "pfpl CLI binary not found";
+    in = tmp_path("cli_in.raw");
+    comp = tmp_path("cli_out.pfpl");
+    out = tmp_path("cli_back.raw");
+    data::Rng rng(7);
+    values.resize(50000);
+    double acc = 0;
+    for (auto& x : values) {
+      acc += 0.01 * rng.gaussian();
+      x = static_cast<float>(acc);
+    }
+    io::write_file(in, values.data(), values.size() * 4);
+  }
+  void TearDown() override {
+    fs::remove(in);
+    fs::remove(comp);
+    fs::remove(out);
+  }
+  std::string cli, in, comp, out;
+  std::vector<float> values;
+};
+
+TEST_F(CliTest, CompressDecompressRoundTrip) {
+  ASSERT_EQ(run(cli + " c " + in + " " + comp + " --dtype f32 --eb abs --eps 1e-3"), 0);
+  ASSERT_TRUE(fs::exists(comp));
+  EXPECT_LT(fs::file_size(comp), fs::file_size(in));
+  ASSERT_EQ(run(cli + " d " + comp + " " + out), 0);
+  auto back = io::read_values<float>(out);
+  ASSERT_EQ(back.size(), values.size());
+  for (std::size_t i = 0; i < values.size(); ++i)
+    ASSERT_LE(std::abs(static_cast<double>(values[i]) - back[i]), 1e-3) << i;
+}
+
+TEST_F(CliTest, ExecutorsProduceIdenticalFiles) {
+  std::string comp2 = tmp_path("cli_out2.pfpl");
+  ASSERT_EQ(run(cli + " c " + in + " " + comp + " --eps 1e-3 --exec serial"), 0);
+  ASSERT_EQ(run(cli + " c " + in + " " + comp2 + " --eps 1e-3 --exec gpusim"), 0);
+  EXPECT_EQ(io::read_file(comp), io::read_file(comp2));
+  fs::remove(comp2);
+}
+
+TEST_F(CliTest, InfoCommand) {
+  ASSERT_EQ(run(cli + " c " + in + " " + comp + " --eb rel --eps 1e-2"), 0);
+  EXPECT_EQ(run(cli + " info " + comp), 0);
+}
+
+TEST_F(CliTest, VerifyCommand) {
+  ASSERT_EQ(run(cli + " c " + in + " " + comp + " --eb abs --eps 1e-3"), 0);
+  // PFPL's bound is guaranteed, so verify must pass (exit 0).
+  EXPECT_EQ(run(cli + " verify " + in + " " + comp), 0);
+  // Verifying against different data must fail (exit 3).
+  std::string other = tmp_path("cli_other.raw");
+  std::vector<float> wrong(values.size(), 1234.5f);
+  io::write_file(other, wrong.data(), wrong.size() * 4);
+  EXPECT_NE(run(cli + " verify " + other + " " + comp), 0);
+  fs::remove(other);
+}
+
+TEST_F(CliTest, BadUsageFails) {
+  EXPECT_NE(run(cli), 0);
+  EXPECT_NE(run(cli + " c " + in), 0);
+  EXPECT_NE(run(cli + " d /nonexistent.pfpl " + out), 0);
+}

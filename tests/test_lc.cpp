@@ -1,0 +1,167 @@
+// Tests for the mini-LC framework: every component round-trips on arbitrary
+// data, pipelines compose and invert correctly, the search driver verifies
+// candidates, and the PFPL pipeline emerges as a strong candidate on smooth
+// quantized data (the Section III-D design story).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/quantizers.hpp"
+#include "data/rng.hpp"
+#include "lc/search.hpp"
+#include "lc/stage.hpp"
+
+using namespace repro;
+using namespace repro::lc;
+
+namespace {
+
+std::vector<u8> random_bytes(std::size_t n, u64 seed) {
+  data::Rng rng(seed);
+  std::vector<u8> d(n);
+  for (auto& b : d) b = static_cast<u8>(rng.next_u64());
+  return d;
+}
+
+std::vector<u8> smooth_quantized_chunk(std::size_t words, u64 seed) {
+  data::Rng rng(seed);
+  pfpl::AbsQuantizer<float> q(1e-3);
+  std::vector<u8> d(words * 4);
+  u32* w = reinterpret_cast<u32*>(d.data());
+  double acc = 0;
+  for (std::size_t i = 0; i < words; ++i) {
+    acc += 0.002 * rng.gaussian();
+    w[i] = q.encode(static_cast<float>(acc));
+  }
+  return d;
+}
+
+void stage_roundtrip(const StagePtr& st, std::vector<u8> data) {
+  std::vector<u8> orig = data;
+  std::size_t in_size = data.size();
+  st->encode(data);
+  st->decode(data, in_size);
+  EXPECT_EQ(data, orig) << st->name();
+}
+
+}  // namespace
+
+TEST(LcStages, AllComponentsRoundTripOnRandomData) {
+  for (int wb : {32, 64}) {
+    for (const auto& st : component_library(wb)) {
+      stage_roundtrip(st, random_bytes(16384, 11));
+      stage_roundtrip(st, random_bytes(0, 12));
+      stage_roundtrip(st, random_bytes(16384, 13));
+      stage_roundtrip(st, std::vector<u8>(16384, 0));
+      stage_roundtrip(st, std::vector<u8>(16384, 0xFF));
+    }
+  }
+}
+
+TEST(LcStages, AllComponentsRoundTripOnOddSizes) {
+  for (int wb : {32, 64}) {
+    for (const auto& st : component_library(wb)) {
+      for (std::size_t n : {1u, 3u, 7u, 8u, 63u, 257u, 4095u})
+        stage_roundtrip(st, random_bytes(n, n));
+    }
+  }
+}
+
+TEST(LcStages, NamesAreUnique) {
+  for (int wb : {32, 64}) {
+    auto lib = component_library(wb);
+    for (std::size_t i = 0; i < lib.size(); ++i)
+      for (std::size_t j = i + 1; j < lib.size(); ++j)
+        EXPECT_NE(lib[i]->name(), lib[j]->name());
+  }
+}
+
+TEST(LcPipeline, EmptyPipelineIsIdentityPlusHeader) {
+  Pipeline p;
+  auto data = random_bytes(1000, 21);
+  auto enc = p.encode(data);
+  EXPECT_EQ(enc.size(), data.size() + 4);  // just the size-table header
+  EXPECT_EQ(p.decode(enc, data.size()), data);
+}
+
+TEST(LcPipeline, PfplPipelineRoundTrips) {
+  Pipeline p({make_diff_negabinary(32), make_bitshuffle(32), make_zerobyte()});
+  EXPECT_EQ(p.name(), "diff_nb32+bshfl32+zbe");
+  auto data = smooth_quantized_chunk(4096, 22);
+  auto enc = p.encode(data);
+  EXPECT_LT(enc.size(), data.size());  // compresses smooth data
+  EXPECT_EQ(p.decode(enc, data.size()), data);
+}
+
+TEST(LcPipeline, MultipleSizeChangingStages) {
+  // zbe followed by rle followed by lz: three size-changing stages whose
+  // inverse sizes come from the recorded table.
+  Pipeline p({make_diff_negabinary(32), make_zerobyte(), make_rle(), make_lz()});
+  auto data = smooth_quantized_chunk(4096, 23);
+  auto enc = p.encode(data);
+  EXPECT_EQ(p.decode(enc, data.size()), data);
+}
+
+TEST(LcPipeline, CorruptStreamThrowsOrMismatches) {
+  Pipeline p({make_diff_negabinary(32), make_bitshuffle(32), make_zerobyte()});
+  auto data = smooth_quantized_chunk(4096, 24);
+  auto enc = p.encode(data);
+  auto bad = enc;
+  bad.resize(bad.size() / 2);
+  EXPECT_THROW(p.decode(bad, data.size()), CompressionError);
+}
+
+TEST(LcPipeline, RandomPipelinesAlwaysInvert) {
+  // Property test: any random pipeline of library stages must invert.
+  data::Rng rng(25);
+  auto lib32 = component_library(32);
+  for (int t = 0; t < 60; ++t) {
+    std::vector<StagePtr> stages;
+    int depth = 1 + static_cast<int>(rng.next_u64() % 4);
+    for (int s = 0; s < depth; ++s) stages.push_back(lib32[rng.next_u64() % lib32.size()]);
+    Pipeline p(stages);
+    auto data = t % 2 ? random_bytes(8192, t) : smooth_quantized_chunk(2048, t);
+    auto enc = p.encode(data);
+    EXPECT_EQ(p.decode(enc, data.size()), data) << p.name();
+  }
+}
+
+TEST(LcSearch, FindsCompressingPipelines) {
+  std::vector<std::vector<u8>> chunks;
+  for (int i = 0; i < 4; ++i) chunks.push_back(smooth_quantized_chunk(4096, 30 + i));
+  SearchConfig cfg;
+  cfg.max_stages = 2;
+  auto results = search(chunks, cfg);
+  ASSERT_FALSE(results.empty());
+  // Every result round-tripped by construction; the best must compress.
+  EXPECT_GT(results.front().ratio, 2.0);
+  // Sorted descending by ratio.
+  for (std::size_t i = 1; i < results.size(); ++i)
+    EXPECT_GE(results[i - 1].ratio, results[i].ratio);
+}
+
+TEST(LcSearch, PfplPipelineRanksHighly) {
+  // The Section III-D story: the shipped 3-stage pipeline should land in the
+  // top tier of the depth-3 search on smooth quantized data.
+  std::vector<std::vector<u8>> chunks;
+  for (int i = 0; i < 3; ++i) chunks.push_back(smooth_quantized_chunk(4096, 40 + i));
+  SearchConfig cfg;
+  cfg.max_stages = 3;
+  auto results = search(chunks, cfg);
+  ASSERT_GT(results.size(), 50u);
+  std::size_t rank = results.size();
+  for (std::size_t i = 0; i < results.size(); ++i)
+    if (results[i].name == "diff_nb32+bshfl32+zbe") {
+      rank = i;
+      break;
+    }
+  ASSERT_LT(rank, results.size()) << "pipeline not found";
+  EXPECT_LT(rank, results.size() / 5) << "expected top-20% rank, got " << rank;
+}
+
+TEST(LcSearch, EvaluateRejectsNothingThatRoundTrips) {
+  std::vector<std::vector<u8>> chunks{random_bytes(4096, 50)};
+  Candidate c = evaluate(Pipeline({make_lz()}), chunks);
+  EXPECT_TRUE(c.roundtrip);
+  EXPECT_GT(c.enc_mbps, 0.0);
+}

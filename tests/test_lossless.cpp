@@ -1,0 +1,149 @@
+// Tests for the Huffman and LZ substrates used by the SZ-class baselines.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/rng.hpp"
+#include "lossless/bitio.hpp"
+#include "lossless/huffman.hpp"
+#include "lossless/lz.hpp"
+
+using namespace repro;
+using namespace repro::lossless;
+
+// --- bit I/O -----------------------------------------------------------------
+
+TEST(BitIO, RoundTripVariousWidths) {
+  std::vector<u8> buf;
+  BitWriter bw(buf);
+  data::Rng rng(61);
+  std::vector<std::pair<u64, unsigned>> items;
+  for (int i = 0; i < 10000; ++i) {
+    unsigned n = 1 + static_cast<unsigned>(rng.next_u64() % 57);
+    u64 v = rng.next_u64() & ((n < 64 ? (u64{1} << n) : 0) - 1);
+    items.push_back({v, n});
+    bw.put(v, n);
+  }
+  bw.flush();
+  BitReader br(buf.data(), buf.size());
+  for (auto [v, n] : items) EXPECT_EQ(br.get(n), v);
+  EXPECT_FALSE(br.truncated());
+}
+
+TEST(BitIO, TruncationDetected) {
+  std::vector<u8> buf{0xFF};
+  BitReader br(buf.data(), buf.size());
+  br.get(8);
+  EXPECT_FALSE(br.truncated());
+  br.get(8);
+  EXPECT_TRUE(br.truncated());
+}
+
+// --- Huffman -------------------------------------------------------------------
+
+TEST(Huffman, EmptyInput) {
+  Bytes enc = huffman_encode({});
+  EXPECT_TRUE(huffman_decode(enc).empty());
+}
+
+TEST(Huffman, SingleSymbol) {
+  std::vector<u16> syms(1000, 7);
+  Bytes enc = huffman_encode(syms);
+  EXPECT_EQ(huffman_decode(enc), syms);
+  EXPECT_LT(enc.size(), 200u);  // ~1 bit per symbol
+}
+
+TEST(Huffman, SkewedDistributionCompresses) {
+  data::Rng rng(62);
+  std::vector<u16> syms(100000);
+  for (auto& s : syms) {
+    double g = std::abs(rng.gaussian());
+    s = static_cast<u16>(std::min(g * 3.0, 255.0));
+  }
+  Bytes enc = huffman_encode(syms);
+  EXPECT_EQ(huffman_decode(enc), syms);
+  EXPECT_LT(enc.size(), syms.size());  // < 8 bits per 16-bit symbol
+}
+
+TEST(Huffman, UniformAlphabetRoundTrip) {
+  data::Rng rng(63);
+  std::vector<u16> syms(50000);
+  for (auto& s : syms) s = static_cast<u16>(rng.next_u64() & 0xFFFF);
+  Bytes enc = huffman_encode(syms);
+  EXPECT_EQ(huffman_decode(enc), syms);
+}
+
+TEST(Huffman, ConsumedBytesReported) {
+  std::vector<u16> syms{1, 2, 3, 2, 1};
+  Bytes enc = huffman_encode(syms);
+  enc.push_back(0xAB);  // trailing data beyond the stream
+  std::size_t used = 0;
+  EXPECT_EQ(huffman_decode(enc.data(), enc.size(), &used), syms);
+  EXPECT_EQ(used, enc.size() - 1);
+}
+
+TEST(Huffman, CorruptTableThrows) {
+  std::vector<u16> syms(100, 5);
+  Bytes enc = huffman_encode(syms);
+  Bytes bad(enc.begin(), enc.begin() + 10);
+  EXPECT_THROW(huffman_decode(bad), CompressionError);
+}
+
+// --- LZ -------------------------------------------------------------------------
+
+TEST(Lz, EmptyInput) {
+  Bytes enc = lz_encode({});
+  EXPECT_TRUE(lz_decode(enc).empty());
+}
+
+TEST(Lz, RepetitiveDataCompresses) {
+  std::vector<u8> data;
+  for (int i = 0; i < 1000; ++i)
+    for (u8 b : {u8{1}, u8{2}, u8{3}, u8{4}, u8{5}, u8{6}, u8{7}, u8{8}}) data.push_back(b);
+  Bytes enc = lz_encode(data);
+  EXPECT_LT(enc.size(), data.size() / 10);
+  EXPECT_EQ(lz_decode(enc), data);
+}
+
+TEST(Lz, RandomDataRoundTrips) {
+  data::Rng rng(64);
+  std::vector<u8> data(100000);
+  for (auto& b : data) b = static_cast<u8>(rng.next_u64());
+  Bytes enc = lz_encode(data);
+  EXPECT_EQ(lz_decode(enc), data);
+  EXPECT_LT(enc.size(), data.size() * 110 / 100 + 64);  // bounded expansion
+}
+
+TEST(Lz, OverlappingMatches) {
+  // RLE-style overlap: dist < len must replay correctly.
+  std::vector<u8> data(5000, 0x5A);
+  Bytes enc = lz_encode(data);
+  EXPECT_LT(enc.size(), 128u);
+  EXPECT_EQ(lz_decode(enc), data);
+}
+
+TEST(Lz, VariousSizes) {
+  data::Rng rng(65);
+  for (std::size_t n : {1u, 2u, 3u, 4u, 5u, 15u, 16u, 17u, 255u, 256u, 65535u, 65536u}) {
+    std::vector<u8> data(n);
+    for (auto& b : data) b = static_cast<u8>(rng.next_u64() % 4);
+    EXPECT_EQ(lz_decode(lz_encode(data)), data) << n;
+  }
+}
+
+TEST(Lz, TruncatedThrows) {
+  std::vector<u8> data(1000, 1);
+  Bytes enc = lz_encode(data);
+  Bytes bad(enc.begin(), enc.begin() + enc.size() / 2);
+  EXPECT_THROW(lz_decode(bad), CompressionError);
+}
+
+TEST(Lz, HuffmanThenLzPipeline) {
+  // The SZ-style coding stack: Huffman output fed through LZ and back.
+  data::Rng rng(66);
+  std::vector<u16> syms(50000);
+  for (auto& s : syms) s = static_cast<u16>(std::min(std::abs(rng.gaussian()) * 2.0, 60.0));
+  Bytes h = huffman_encode(syms);
+  Bytes l = lz_encode(h);
+  EXPECT_EQ(huffman_decode(lz_decode(l)), syms);
+}

@@ -1,0 +1,151 @@
+// Tests for the metrics module — the external judge every guarantee test
+// relies on, so its own semantics must be pinned down precisely.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "metrics/error_stats.hpp"
+
+using namespace repro;
+using namespace repro::metrics;
+
+namespace {
+constexpr float kInf = std::numeric_limits<float>::infinity();
+const float kNan = std::numeric_limits<float>::quiet_NaN();
+}  // namespace
+
+TEST(Stats, PerfectReconstruction) {
+  std::vector<float> v{1.0f, 2.0f, 3.0f, -1.0f};
+  auto s = compute_stats(std::span<const float>(v), std::span<const float>(v));
+  EXPECT_EQ(s.max_abs, 0.0);
+  EXPECT_EQ(s.max_rel, 0.0);
+  EXPECT_EQ(s.mse, 0.0);
+  EXPECT_TRUE(std::isinf(s.psnr));
+  EXPECT_EQ(s.value_range, 4.0);
+  EXPECT_EQ(s.sign_flips, 0u);
+  EXPECT_EQ(s.nonfinite_mismatches, 0u);
+}
+
+TEST(Stats, KnownErrors) {
+  std::vector<float> o{0.0f, 1.0f, 2.0f};
+  std::vector<float> r{0.1f, 0.8f, 2.0f};
+  auto s = compute_stats(std::span<const float>(o), std::span<const float>(r));
+  EXPECT_NEAR(s.max_abs, 0.2, 1e-7);
+  EXPECT_NEAR(s.max_rel, 0.2, 1e-6);  // at o=1.0
+  EXPECT_NEAR(s.mse, (0.01 + 0.04 + 0.0) / 3, 1e-7);
+}
+
+TEST(Stats, PsnrFormula) {
+  // PSNR = 20 log10(range) - 10 log10(MSE).
+  std::vector<float> o(1000), r(1000);
+  for (int i = 0; i < 1000; ++i) {
+    o[i] = static_cast<float>(i % 100);  // range 99
+    r[i] = o[i] + 0.5f;
+  }
+  auto s = compute_stats(std::span<const float>(o), std::span<const float>(r));
+  EXPECT_NEAR(s.psnr, 20 * std::log10(99.0) - 10 * std::log10(0.25), 1e-6);
+}
+
+TEST(Stats, NonFiniteHandling) {
+  std::vector<float> o{kNan, kInf, -kInf, 1.0f};
+  std::vector<float> r{kNan, kInf, -kInf, 1.0f};
+  auto s = compute_stats(std::span<const float>(o), std::span<const float>(r));
+  EXPECT_EQ(s.nonfinite_mismatches, 0u);
+  std::vector<float> bad{1.0f, kInf, kInf, kNan};
+  auto s2 = compute_stats(std::span<const float>(o), std::span<const float>(bad));
+  EXPECT_EQ(s2.nonfinite_mismatches, 3u);  // NaN->1.0, -inf->+inf, 1.0->NaN
+}
+
+TEST(Stats, SignFlipsCounted) {
+  std::vector<float> o{1.0f, -2.0f, 3.0f};
+  std::vector<float> r{-1.0f, -2.0f, 3.0f};
+  auto s = compute_stats(std::span<const float>(o), std::span<const float>(r));
+  EXPECT_EQ(s.sign_flips, 1u);
+}
+
+TEST(Violations, AbsBoundary) {
+  std::vector<double> o{1.0};
+  std::vector<double> ok{1.0 + 1e-3};
+  std::vector<double> bad{1.0 + 1e-3 + 1e-9};
+  EXPECT_EQ(count_violations(std::span<const double>(o), std::span<const double>(ok), 1e-3,
+                             EbType::ABS),
+            0u);
+  EXPECT_EQ(count_violations(std::span<const double>(o), std::span<const double>(bad), 1e-3,
+                             EbType::ABS),
+            1u);
+}
+
+TEST(Violations, RelSemantics) {
+  std::vector<double> o{10.0, -10.0, 0.0};
+  // In-bound: within a factor (1+eps) either way, same sign; zero -> zero.
+  std::vector<double> ok{10.0 * 1.0009, -10.0 / 1.0009, 0.0};
+  EXPECT_EQ(count_violations(std::span<const double>(o), std::span<const double>(ok), 1e-3,
+                             EbType::REL),
+            0u);
+  // Sign flip violates even when magnitude is fine.
+  std::vector<double> flip{-10.0, -10.0, 0.0};
+  EXPECT_EQ(count_violations(std::span<const double>(o), std::span<const double>(flip), 1e-3,
+                             EbType::REL),
+            1u);
+  // Zero must reconstruct to zero.
+  std::vector<double> z{10.0, -10.0, 1e-30};
+  EXPECT_EQ(count_violations(std::span<const double>(o), std::span<const double>(z), 1e-3,
+                             EbType::REL),
+            1u);
+  // Magnitude out of band.
+  std::vector<double> far{10.2, -10.0, 0.0};
+  EXPECT_EQ(count_violations(std::span<const double>(o), std::span<const double>(far), 1e-3,
+                             EbType::REL),
+            1u);
+}
+
+TEST(Violations, NoaUsesRange) {
+  std::vector<double> o{0.0, 100.0};        // range 100
+  std::vector<double> r{0.09, 100.0};       // err 0.09 <= 1e-3 * 100
+  std::vector<double> bad{0.11, 100.0};     // err 0.11 > 0.1
+  EXPECT_EQ(count_violations(std::span<const double>(o), std::span<const double>(r), 1e-3,
+                             EbType::NOA),
+            0u);
+  EXPECT_EQ(count_violations(std::span<const double>(o), std::span<const double>(bad), 1e-3,
+                             EbType::NOA),
+            1u);
+}
+
+TEST(Violations, NanMustMapToNan) {
+  std::vector<float> o{kNan};
+  std::vector<float> num{1.0f};
+  std::vector<float> nan2{kNan};
+  EXPECT_EQ(count_violations(std::span<const float>(o), std::span<const float>(num), 1e-3,
+                             EbType::ABS),
+            1u);
+  EXPECT_EQ(count_violations(std::span<const float>(o), std::span<const float>(nan2), 1e-3,
+                             EbType::ABS),
+            0u);
+}
+
+TEST(Violations, InfMustMapToSameInf) {
+  std::vector<float> o{kInf, -kInf};
+  std::vector<float> same{kInf, -kInf};
+  std::vector<float> flipped{-kInf, kInf};
+  for (EbType eb : {EbType::ABS, EbType::REL, EbType::NOA}) {
+    EXPECT_EQ(count_violations(std::span<const float>(o), std::span<const float>(same), 1e-3, eb),
+              0u);
+    EXPECT_EQ(
+        count_violations(std::span<const float>(o), std::span<const float>(flipped), 1e-3, eb),
+        2u);
+  }
+}
+
+TEST(Ratio, Basics) {
+  EXPECT_DOUBLE_EQ(compression_ratio(1000, 100), 10.0);
+  EXPECT_DOUBLE_EQ(compression_ratio(1000, 0), 0.0);
+}
+
+TEST(Geomean, Properties) {
+  std::vector<double> xs{1.0, 100.0};
+  EXPECT_NEAR(geomean(xs), 10.0, 1e-12);
+  std::vector<double> with_zero{0.0, 4.0};  // non-positive entries skipped
+  EXPECT_NEAR(geomean(with_zero), 4.0, 1e-12);
+  EXPECT_EQ(geomean({}), 0.0);
+}

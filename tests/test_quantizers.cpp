@@ -1,0 +1,305 @@
+// Tests for the PFPL quantizers: error-bound guarantee (including adversarial
+// and special values), bit-pattern encoding invariants, and round-trips.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "core/quantizers.hpp"
+#include "data/rng.hpp"
+
+using namespace repro;
+using namespace repro::pfpl;
+using repro::fpmath::FloatTraits;
+
+namespace {
+
+template <typename T>
+void check_abs_bound(T v, double eps) {
+  AbsQuantizer<T> q(eps);
+  auto w = q.encode(v);
+  T r = q.decode(w);
+  if (std::isnan(v)) {
+    EXPECT_TRUE(std::isnan(r));
+    return;
+  }
+  if (std::isinf(v)) {
+    EXPECT_EQ(r, v);
+    return;
+  }
+  using V = VerifyReal<T>;
+  V err = static_cast<V>(v) - static_cast<V>(r);
+  if (err < 0) err = -err;
+  EXPECT_LE(err, static_cast<V>(eps)) << "v=" << v << " r=" << r << " eps=" << eps;
+}
+
+template <typename T>
+void check_rel_bound(T v, double eps) {
+  RelQuantizer<T> q(eps);
+  auto w = q.encode(v);
+  T r = q.decode(w);
+  if (std::isnan(v)) {
+    EXPECT_TRUE(std::isnan(r));
+    return;
+  }
+  if (std::isinf(v)) {
+    EXPECT_EQ(r, v);
+    return;
+  }
+  if (v == T(0)) {
+    EXPECT_EQ(r, T(0));
+    return;
+  }
+  ASSERT_TRUE((v > T(0)) == (r > T(0)) && r != T(0)) << "sign flip: v=" << v << " r=" << r;
+  using V = VerifyReal<T>;
+  V av = static_cast<V>(v < T(0) ? -v : v);
+  V ar = static_cast<V>(r < T(0) ? -r : r);
+  V op = V(1) + static_cast<V>(eps);
+  EXPECT_TRUE(ar * op >= av && ar <= av * op) << "v=" << v << " r=" << r << " eps=" << eps;
+}
+
+template <typename T>
+std::vector<T> special_values() {
+  using L = std::numeric_limits<T>;
+  return {T(0),
+          T(-0.0),
+          L::quiet_NaN(),
+          -L::quiet_NaN(),
+          L::infinity(),
+          -L::infinity(),
+          L::denorm_min(),
+          -L::denorm_min(),
+          L::min(),
+          -L::min(),
+          L::max(),
+          -L::max(),
+          std::nextafter(L::min(), T(0)),   // largest denormal
+          std::nextafter(L::min(), T(1)),   // smallest normal + 1 ulp
+          T(1),
+          T(-1),
+          T(3.14159265),
+          T(-2.718281828)};
+}
+
+}  // namespace
+
+// --- ABS ---------------------------------------------------------------------
+
+TEST(AbsQuantizer, PaperExampleBins) {
+  // Paper Figure 2 semantics: eps=0.01 -> bin width 0.02, bin = round(v/0.02).
+  AbsQuantizer<float> q(0.01);
+  EXPECT_EQ(q.encode(0.0f), 0u);                       // bin 0
+  EXPECT_EQ(q.encode(0.02f) >> 1, 1u);                 // bin 1
+  EXPECT_EQ(q.encode(-0.02f) & 1u, 1u);                // negative sign bit
+  EXPECT_FLOAT_EQ(q.decode(q.encode(0.02f)), 0.02f);   // bin centre
+  EXPECT_FLOAT_EQ(q.decode(q.encode(0.021f)), 0.02f);  // same bin
+}
+
+TEST(AbsQuantizer, SpecialValuesGuaranteedFloat) {
+  for (float v : special_values<float>())
+    for (double eps : {1e-1, 1e-2, 1e-3, 1e-4}) check_abs_bound(v, eps);
+}
+
+TEST(AbsQuantizer, SpecialValuesGuaranteedDouble) {
+  for (double v : special_values<double>())
+    for (double eps : {1e-1, 1e-2, 1e-3, 1e-4}) check_abs_bound(v, eps);
+}
+
+TEST(AbsQuantizer, RandomValuesGuaranteed) {
+  data::Rng rng(21);
+  for (int i = 0; i < 100000; ++i) {
+    float v = static_cast<float>(rng.gaussian() * std::pow(10.0, rng.uniform(-6, 6)));
+    check_abs_bound(v, 1e-3);
+  }
+}
+
+TEST(AbsQuantizer, RandomBitPatternsGuaranteedFloat) {
+  // Adversarial: arbitrary bit patterns (NaNs, denormals, extremes).
+  data::Rng rng(22);
+  for (int i = 0; i < 200000; ++i) {
+    float v = fpmath::from_bits<float>(static_cast<u32>(rng.next_u64()));
+    check_abs_bound(v, 1e-3);
+  }
+}
+
+TEST(AbsQuantizer, RandomBitPatternsGuaranteedDouble) {
+  data::Rng rng(23);
+  for (int i = 0; i < 100000; ++i) {
+    double v = fpmath::from_bits<double>(rng.next_u64());
+    check_abs_bound(v, 1e-5);
+  }
+}
+
+TEST(AbsQuantizer, BinWordsLiveInDenormalRange) {
+  AbsQuantizer<float> q(1e-2);
+  data::Rng rng(24);
+  for (int i = 0; i < 10000; ++i) {
+    float v = static_cast<float>(rng.gaussian());
+    u32 w = q.encode(v);
+    if (AbsQuantizer<float>::is_bin(w)) {
+      EXPECT_LT(w, FloatTraits<float>::denormal_limit);
+    } else {
+      EXPECT_EQ(w, fpmath::to_bits(v));  // lossless words are the raw pattern
+    }
+  }
+}
+
+TEST(AbsQuantizer, DenormalInputsQuantizeToZero) {
+  // Paper: "denormals are always quantized to zero" for ABS/NOA, so positive
+  // denormal patterns can never appear as lossless words.
+  AbsQuantizer<float> q(1e-3);
+  for (u32 bits = 1; bits < 1000; ++bits) {
+    float v = fpmath::from_bits<float>(bits);
+    u32 w = q.encode(v);
+    EXPECT_EQ(w, 0u) << bits;  // bin 0
+  }
+}
+
+TEST(AbsQuantizer, LargeValuesStoredLossless) {
+  AbsQuantizer<float> q(1e-3);
+  float v = 1e30f;  // bin would exceed the denormal range
+  u32 w = q.encode(v);
+  EXPECT_FALSE(AbsQuantizer<float>::is_bin(w));
+  EXPECT_EQ(q.decode(w), v);
+}
+
+TEST(AbsQuantizer, DegenerateEpsilonIsLosslessButValid) {
+  AbsQuantizer<float> q(0.0);
+  EXPECT_EQ(q.decode(q.encode(1.234f)), 1.234f);
+  EXPECT_EQ(q.decode(q.encode(0.0f)), 0.0f);
+}
+
+TEST(AbsQuantizer, RejectsInvalidBounds) {
+  EXPECT_THROW(AbsQuantizer<float>(-1.0), CompressionError);
+  EXPECT_THROW(AbsQuantizer<float>(std::numeric_limits<double>::infinity()),
+               CompressionError);
+  EXPECT_THROW(AbsQuantizer<float>(std::numeric_limits<double>::quiet_NaN()),
+               CompressionError);
+}
+
+// --- REL ---------------------------------------------------------------------
+
+TEST(RelQuantizer, SpecialValuesGuaranteedFloat) {
+  for (float v : special_values<float>())
+    for (double eps : {1e-1, 1e-2, 1e-3, 1e-4}) check_rel_bound(v, eps);
+}
+
+TEST(RelQuantizer, SpecialValuesGuaranteedDouble) {
+  for (double v : special_values<double>())
+    for (double eps : {1e-1, 1e-2, 1e-3, 1e-4}) check_rel_bound(v, eps);
+}
+
+TEST(RelQuantizer, RandomValuesGuaranteed) {
+  data::Rng rng(31);
+  for (int i = 0; i < 100000; ++i) {
+    float v = static_cast<float>(rng.gaussian() * std::pow(10.0, rng.uniform(-30, 30)));
+    check_rel_bound(v, 1e-2);
+  }
+}
+
+TEST(RelQuantizer, RandomBitPatternsGuaranteedFloat) {
+  data::Rng rng(32);
+  for (int i = 0; i < 200000; ++i) {
+    float v = fpmath::from_bits<float>(static_cast<u32>(rng.next_u64()));
+    check_rel_bound(v, 1e-3);
+  }
+}
+
+TEST(RelQuantizer, RandomBitPatternsGuaranteedDouble) {
+  data::Rng rng(33);
+  for (int i = 0; i < 100000; ++i) {
+    double v = fpmath::from_bits<double>(rng.next_u64());
+    check_rel_bound(v, 1e-4);
+  }
+}
+
+TEST(RelQuantizer, NegativeNaNsBecomePositive) {
+  // Paper Section III-B: the negative NaN range is freed for bin numbers by
+  // making all negative NaNs positive.
+  RelQuantizer<float> q(1e-2);
+  float nnan = fpmath::from_bits<float>(0xFFC00001u);
+  float r = q.decode(q.encode(nnan));
+  EXPECT_TRUE(std::isnan(r));
+  EXPECT_EQ(fpmath::to_bits(r) & FloatTraits<float>::sign_mask, 0u);
+}
+
+TEST(RelQuantizer, ZeroKeepsSign) {
+  RelQuantizer<float> q(1e-2);
+  EXPECT_EQ(fpmath::to_bits(q.decode(q.encode(0.0f))), 0u);
+  EXPECT_EQ(fpmath::to_bits(q.decode(q.encode(-0.0f))), 0x80000000u);
+}
+
+TEST(RelQuantizer, BinsClusterForCompressibility) {
+  // Nearby values map to nearby (or equal) bins — the property the delta
+  // stage exploits.
+  RelQuantizer<float> q(1e-2);
+  u32 w1 = q.encode(100.0f);
+  u32 w2 = q.encode(100.5f);
+  ASSERT_TRUE(RelQuantizer<float>::is_bin(w1));
+  ASSERT_TRUE(RelQuantizer<float>::is_bin(w2));
+  EXPECT_LE((w2 >> 1) - (w1 >> 1), 1u);
+}
+
+TEST(RelQuantizer, EmittedWordsRespectTheNanRangeEncoding) {
+  // Bin words (after the stream-wide inversion) sit strictly below
+  // 2^mantissa_bits - 1; inverting them back lands in the negative-NaN
+  // pattern range. Lossless words never collide with that range because
+  // input NaNs were made positive.
+  RelQuantizer<float> q(1e-3);
+  data::Rng rng(200);
+  for (int i = 0; i < 200000; ++i) {
+    float v = fpmath::from_bits<float>(static_cast<u32>(rng.next_u64()));
+    u32 w = q.encode(v);
+    if (RelQuantizer<float>::is_bin(w)) {
+      ASSERT_LT(w, FloatTraits<float>::denormal_limit - 1);
+      u32 uninverted = ~w;
+      ASSERT_GT(uninverted, 0xFF800000u);  // strictly inside negative NaNs
+    } else {
+      // Lossless word: the un-inverted pattern must NOT be a negative NaN.
+      u32 pattern = ~w;
+      ASSERT_FALSE(pattern > 0xFF800000u) << std::hex << pattern;
+    }
+  }
+}
+
+TEST(RelQuantizer, DoubleWideBinsCoverMoreRange) {
+  // Double precision has a 2^52-wide NaN range, so magnitudes that overflow
+  // the float bin range still quantize in double (paper Section III-B).
+  RelQuantizer<double> qd(1e-6);
+  u64 w = qd.encode(1e300);
+  EXPECT_TRUE(RelQuantizer<double>::is_bin(w));
+  double r = qd.decode(w);
+  EXPECT_NEAR(r / 1e300, 1.0, 1e-6 * 1.01);
+}
+
+TEST(RelQuantizer, RejectsInvalidBounds) {
+  EXPECT_THROW(RelQuantizer<float>(0.0), CompressionError);
+  EXPECT_THROW(RelQuantizer<float>(-0.5), CompressionError);
+}
+
+// --- parameterized sweep: both quantizers across bound magnitudes -----------
+
+class QuantizerSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(QuantizerSweep, AbsBoundHolds) {
+  double eps = GetParam();
+  data::Rng rng(101);
+  for (int i = 0; i < 20000; ++i) {
+    float v = static_cast<float>(rng.gaussian() * std::pow(10.0, rng.uniform(-4, 4)));
+    check_abs_bound(v, eps);
+    check_abs_bound(static_cast<double>(v), eps);
+  }
+}
+
+TEST_P(QuantizerSweep, RelBoundHolds) {
+  double eps = GetParam();
+  data::Rng rng(102);
+  for (int i = 0; i < 20000; ++i) {
+    float v = static_cast<float>(rng.gaussian() * std::pow(10.0, rng.uniform(-20, 20)));
+    check_rel_bound(v, eps);
+    check_rel_bound(static_cast<double>(v), eps);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Bounds, QuantizerSweep,
+                         ::testing::Values(1e-1, 1e-2, 1e-3, 1e-4, 1e-5, 0.5, 2.0e-38));

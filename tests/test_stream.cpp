@@ -1,0 +1,198 @@
+// Tests for the streaming PFPL interface: incremental encode must be
+// byte-identical to the one-shot API, and the pull-based decoder must
+// reproduce values exactly under arbitrary read granularities.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/pfpl.hpp"
+#include "core/stream.hpp"
+#include "data/rng.hpp"
+
+using namespace repro;
+using pfpl::StreamDecoder;
+using pfpl::StreamEncoder;
+
+namespace {
+
+std::vector<float> wave(std::size_t n, u64 seed) {
+  data::Rng rng(seed);
+  std::vector<float> v(n);
+  double acc = 0;
+  for (auto& x : v) {
+    acc += 0.01 * rng.gaussian();
+    x = static_cast<float>(std::sin(acc) + acc);
+  }
+  return v;
+}
+
+}  // namespace
+
+TEST(Stream, EncoderMatchesOneShotByteForByte) {
+  auto v = wave(50000, 1);
+  StreamEncoder enc(DType::F32, {.eps = 1e-3, .eb = EbType::ABS});
+  // Append in awkward pieces.
+  std::size_t i = 0;
+  data::Rng rng(2);
+  while (i < v.size()) {
+    std::size_t take = std::min<std::size_t>(1 + rng.next_u64() % 7000, v.size() - i);
+    enc.append(std::span<const float>(v.data() + i, take));
+    i += take;
+  }
+  Bytes streamed = enc.finish();
+  Bytes oneshot = pfpl::compress(Field(v.data(), v.size()), {1e-3, EbType::ABS});
+  EXPECT_EQ(streamed, oneshot);
+}
+
+TEST(Stream, RelAndNoaMatchOneShot) {
+  auto v = wave(20000, 3);
+  {
+    StreamEncoder enc(DType::F32, {.eps = 1e-2, .eb = EbType::REL});
+    enc.append(std::span<const float>(v));
+    EXPECT_EQ(enc.finish(), pfpl::compress(Field(v.data(), v.size()), {1e-2, EbType::REL}));
+  }
+  {
+    // NOA: feed the true range so the derived bound matches the one-shot.
+    float mn = v[0], mx = v[0];
+    for (float x : v) {
+      mn = std::min(mn, x);
+      mx = std::max(mx, x);
+    }
+    StreamEncoder enc(DType::F32, {.eps = 1e-2,
+                                   .eb = EbType::NOA,
+                                   .noa_range = static_cast<double>(mx) - mn});
+    enc.append(std::span<const float>(v));
+    EXPECT_EQ(enc.finish(), pfpl::compress(Field(v.data(), v.size()), {1e-2, EbType::NOA}));
+  }
+}
+
+TEST(Stream, NoaWithoutRangeThrows) {
+  EXPECT_THROW(StreamEncoder(DType::F32, {.eps = 1e-2, .eb = EbType::NOA}),
+               CompressionError);
+}
+
+TEST(Stream, DecoderReadsArbitraryGranularities) {
+  auto v = wave(30000, 4);
+  Bytes c = pfpl::compress(Field(v.data(), v.size()), {1e-3, EbType::ABS});
+  auto want = pfpl::decompress_as<float>(c);
+
+  StreamDecoder dec(c);
+  EXPECT_EQ(dec.header().value_count, v.size());
+  std::vector<float> got;
+  std::vector<float> buf(977);  // deliberately not chunk-aligned
+  for (;;) {
+    std::size_t n = dec.read(std::span<float>(buf));
+    if (n == 0) break;
+    got.insert(got.end(), buf.begin(), buf.begin() + n);
+  }
+  EXPECT_EQ(dec.remaining(), 0u);
+  EXPECT_EQ(got, want);
+}
+
+TEST(Stream, DecoderSingleValueReads) {
+  auto v = wave(5000, 5);
+  Bytes c = pfpl::compress(Field(v.data(), v.size()), {1e-3, EbType::ABS});
+  auto want = pfpl::decompress_as<float>(c);
+  StreamDecoder dec(c);
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    float x;
+    ASSERT_EQ(dec.read(std::span<float>(&x, 1)), 1u);
+    ASSERT_EQ(x, want[i]) << i;
+  }
+  float x;
+  EXPECT_EQ(dec.read(std::span<float>(&x, 1)), 0u);
+}
+
+TEST(Stream, DoublePrecisionRoundtrip) {
+  data::Rng rng(6);
+  std::vector<double> v(10000);
+  double acc = 0;
+  for (auto& x : v) {
+    acc += rng.gaussian();
+    x = acc;
+  }
+  StreamEncoder enc(DType::F64, {.eps = 1e-4, .eb = EbType::ABS});
+  enc.append(std::span<const double>(v.data(), 3000));
+  enc.append(std::span<const double>(v.data() + 3000, 7000));
+  Bytes c = enc.finish();
+  EXPECT_EQ(c, pfpl::compress(Field(v.data(), v.size()), {1e-4, EbType::ABS}));
+
+  StreamDecoder dec(c);
+  std::vector<double> got(v.size());
+  EXPECT_EQ(dec.read(std::span<double>(got)), v.size());
+  EXPECT_EQ(got, pfpl::decompress_as<double>(c));
+}
+
+TEST(Stream, EmptyStream) {
+  StreamEncoder enc(DType::F32, {.eps = 1e-3, .eb = EbType::ABS});
+  Bytes c = enc.finish();
+  StreamDecoder dec(c);
+  EXPECT_EQ(dec.remaining(), 0u);
+  float x;
+  EXPECT_EQ(dec.read(std::span<float>(&x, 1)), 0u);
+}
+
+TEST(Stream, CompressedSizeGrowsMonotonically) {
+  auto v = wave(40000, 7);
+  StreamEncoder enc(DType::F32, {.eps = 1e-3, .eb = EbType::ABS});
+  std::size_t last = 0;
+  for (std::size_t i = 0; i < v.size(); i += 8192) {
+    enc.append(std::span<const float>(v.data() + i, std::min<std::size_t>(8192, v.size() - i)));
+    EXPECT_GE(enc.compressed_size_so_far(), last);
+    last = enc.compressed_size_so_far();
+  }
+  EXPECT_GT(last, 0u);
+}
+
+TEST(Stream, CorruptStreamsThrowNotCrash) {
+  auto v = wave(30000, 9);
+  Bytes c = pfpl::compress(Field(v.data(), v.size()), {1e-3, EbType::ABS});
+  data::Rng rng(10);
+  // Truncations.
+  for (int t = 0; t < 100; ++t) {
+    Bytes cut(c.begin(), c.begin() + rng.next_u64() % c.size());
+    try {
+      StreamDecoder dec(cut);
+      std::vector<float> buf(1024);
+      while (dec.read(std::span<float>(buf)) > 0) {
+      }
+    } catch (const CompressionError&) {
+    }
+  }
+  // Bit flips.
+  for (int t = 0; t < 200; ++t) {
+    Bytes bad = c;
+    bad[rng.next_u64() % bad.size()] ^= static_cast<u8>(1u << (rng.next_u64() % 8));
+    try {
+      StreamDecoder dec(bad);
+      std::vector<float> buf(4096);
+      while (dec.read(std::span<float>(buf)) > 0) {
+      }
+    } catch (const CompressionError&) {
+    }
+  }
+}
+
+TEST(Stream, DtypeMismatchThrows) {
+  StreamEncoder enc(DType::F32, {.eps = 1e-3, .eb = EbType::ABS});
+  std::vector<double> d(10, 1.0);
+  EXPECT_THROW(enc.append(std::span<const double>(d)), CompressionError);
+  std::vector<float> f(10, 1.0f);
+  enc.append(std::span<const float>(f));
+  Bytes c = enc.finish();
+  StreamDecoder dec(c);
+  std::vector<double> out(10);
+  EXPECT_THROW(dec.read(std::span<double>(out)), CompressionError);
+}
+
+TEST(Stream, StreamedOutputDecodableByEveryExecutor) {
+  auto v = wave(20000, 8);
+  StreamEncoder enc(DType::F32, {.eps = 1e-3, .eb = EbType::REL});
+  enc.append(std::span<const float>(v));
+  Bytes c = enc.finish();
+  auto serial = pfpl::decompress_as<float>(c, pfpl::Executor::Serial);
+  auto omp = pfpl::decompress_as<float>(c, pfpl::Executor::OpenMP);
+  auto gpu = pfpl::decompress_as<float>(c, pfpl::Executor::GpuSim);
+  EXPECT_EQ(serial, omp);
+  EXPECT_EQ(serial, gpu);
+}
