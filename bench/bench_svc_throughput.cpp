@@ -1,0 +1,79 @@
+// Batch-compression service throughput: aggregate GB/s over the synthetic
+// suite mix vs. worker count.
+//
+// The workload is the checkpoint/dump shape the service targets (cuSZ+ /
+// FZ-GPU motivation: coarse-grained batch throughput, not single-buffer
+// latency): every file of every synthetic suite is one job, all jobs are
+// submitted at once, and the batch is timed end to end (plan + chunk fan-out
+// + assembly). Each configuration also re-verifies the determinism
+// invariant: entry bytes must equal single-threaded pfpl::compress.
+//
+// Output columns: threads, wall ms, aggregate GB/s (input bytes / wall),
+// speedup vs. 1 thread, steal count, peak queue depth. Scaling tops out at
+// the machine's core count — on fewer cores than workers the extra threads
+// just time-slice.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "common/timer.hpp"
+#include "core/pfpl.hpp"
+#include "data/synthetic.hpp"
+#include "svc/batch.hpp"
+
+using namespace repro;
+
+int main() {
+  // Laptop-scale mix: every suite, 2 files each, ~256K values per file.
+  auto suites = data::generate_all(/*target_values=*/1 << 18, /*max_files=*/2);
+  std::vector<svc::Job> jobs;
+  std::size_t total_bytes = 0;
+  for (const auto& suite : suites) {
+    for (const auto& file : suite.files) {
+      jobs.push_back({suite.spec.name + "/" + file.name, file.field(),
+                      pfpl::Params{1e-3, EbType::ABS}});
+      total_bytes += file.byte_size();
+    }
+  }
+  std::printf("svc batch throughput: %zu jobs, %.1f MB total\n", jobs.size(),
+              total_bytes / 1e6);
+
+  // Reference streams for the determinism re-check.
+  std::vector<Bytes> reference;
+  reference.reserve(jobs.size());
+  for (const auto& j : jobs) reference.push_back(pfpl::compress(j.field, j.params));
+
+  std::printf("%8s %10s %10s %9s %8s %8s\n", "threads", "wall_ms", "GB/s", "speedup",
+              "stolen", "depth");
+  double base_ms = 0;
+  for (unsigned threads : {1u, 2u, 4u, 8u}) {
+    svc::BatchCompressor batch({.threads = threads});
+    // Median-of-3 protocol (scaled down from the paper's 9 for batch size).
+    double best_ms = 0;
+    std::vector<svc::JobResult> results;
+    std::vector<double> times;
+    for (int rep = 0; rep < 3; ++rep) {
+      Timer t;
+      results = batch.run(jobs);
+      times.push_back(t.seconds() * 1e3);
+    }
+    std::sort(times.begin(), times.end());
+    best_ms = times[times.size() / 2];
+
+    bool identical = results.size() == reference.size();
+    for (std::size_t i = 0; identical && i < results.size(); ++i)
+      identical = !results[i].failed && results[i].stream == reference[i];
+    if (!identical) {
+      std::fprintf(stderr, "FAIL: threads=%u produced non-identical output\n", threads);
+      return 1;
+    }
+
+    if (threads == 1) base_ms = best_ms;
+    const svc::SvcStats& st = batch.stats();
+    std::printf("%8u %10.2f %10.3f %8.2fx %8llu %8llu\n", threads, best_ms,
+                total_bytes / 1e6 / best_ms, base_ms / best_ms,
+                static_cast<unsigned long long>(st.tasks_stolen),
+                static_cast<unsigned long long>(st.peak_queue_depth));
+  }
+  return 0;
+}

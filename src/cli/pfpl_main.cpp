@@ -1,18 +1,31 @@
 // pfpl — command-line front end for the PFPL compressor.
 //
-// Usage:
+// Single-field streams:
 //   pfpl c <in.raw> <out.pfpl> --dtype f32|f64 --eb abs|rel|noa --eps 1e-3
 //        [--exec serial|omp|gpusim]
 //   pfpl d <in.pfpl> <out.raw> [--exec serial|omp|gpusim]
 //   pfpl info <in.pfpl>
 //   pfpl verify <original.raw> <in.pfpl>     # re-check the error bound
+//
+// Multi-field PFPA archives (the svc batch-compression service):
+//   pfpl pack <out.pfpa> <in1.raw> [in2.raw ...] --dtype f32|f64
+//        --eb abs|rel|noa --eps 1e-3 [--threads N] [--exec serial|omp|gpusim]
+//   pfpl unpack <in.pfpa> <outdir> [--entry NAME]
+//   pfpl list <in.pfpa>
+//
+// Exit codes: 0 ok, 1 error (bad/corrupt input, I/O failure), 2 usage,
+// 3 verify found a bound violation.
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <string>
+#include <vector>
 
 #include "core/pfpl.hpp"
 #include "io/raw_file.hpp"
 #include "metrics/error_stats.hpp"
+#include "svc/archive.hpp"
+#include "svc/batch.hpp"
 
 using namespace repro;
 
@@ -25,7 +38,11 @@ namespace {
                "       [--exec serial|omp|gpusim]\n"
                "  pfpl d <in.pfpl> <out.raw> [--exec serial|omp|gpusim]\n"
                "  pfpl info <in.pfpl>\n"
-               "  pfpl verify <original.raw> <in.pfpl>\n");
+               "  pfpl verify <original.raw> <in.pfpl>\n"
+               "  pfpl pack <out.pfpa> <in1.raw> [in2.raw ...] --dtype f32|f64\n"
+               "       --eb abs|rel|noa --eps <e> [--threads N] [--exec serial|omp|gpusim]\n"
+               "  pfpl unpack <in.pfpa> <outdir> [--entry NAME]\n"
+               "  pfpl list <in.pfpa>\n");
   std::exit(2);
 }
 
@@ -36,12 +53,145 @@ pfpl::Executor parse_exec(const std::string& s) {
   usage();
 }
 
+struct Flags {
+  DType dtype = DType::F32;
+  pfpl::Params params;
+  unsigned threads = 0;
+  std::string entry;
+};
+
+/// Parse `--flag value` pairs from argv[first..); non-flag arguments are
+/// appended to `positional`.
+Flags parse_flags(int argc, char** argv, int first, std::vector<std::string>* positional) {
+  Flags fl;
+  for (int i = first; i < argc; ++i) {
+    std::string a = argv[i];
+    auto need = [&](const char* what) -> std::string {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", what);
+        usage();
+      }
+      return argv[++i];
+    };
+    if (a == "--dtype") {
+      std::string v = need("--dtype");
+      fl.dtype = v == "f64" ? DType::F64 : DType::F32;
+    } else if (a == "--eb") {
+      std::string v = need("--eb");
+      fl.params.eb = v == "rel" ? EbType::REL : (v == "noa" ? EbType::NOA : EbType::ABS);
+    } else if (a == "--eps") {
+      std::string v = need("--eps");
+      try {
+        fl.params.eps = std::stod(v);
+      } catch (const std::exception&) {
+        throw CompressionError("invalid value for --eps: '" + v + "'");
+      }
+    } else if (a == "--exec") {
+      fl.params.exec = parse_exec(need("--exec"));
+    } else if (a == "--threads") {
+      std::string v = need("--threads");
+      try {
+        fl.threads = static_cast<unsigned>(std::stoul(v));
+      } catch (const std::exception&) {
+        throw CompressionError("invalid value for --threads: '" + v + "'");
+      }
+    } else if (a == "--entry") {
+      fl.entry = need("--entry");
+    } else if (!a.empty() && a[0] == '-') {
+      usage();
+    } else if (positional) {
+      positional->push_back(a);
+    } else {
+      usage();
+    }
+  }
+  return fl;
+}
+
+Field make_field(const std::vector<u8>& raw, DType dtype) {
+  if (dtype == DType::F32)
+    return Field(reinterpret_cast<const float*>(raw.data()), raw.size() / 4);
+  return Field(reinterpret_cast<const double*>(raw.data()), raw.size() / 8);
+}
+
+int cmd_pack(const std::vector<std::string>& positional, const Flags& fl) {
+  if (positional.size() < 2) usage();
+  const std::string& out_path = positional[0];
+  // Load every input and name its entry after the file's basename.
+  std::vector<std::vector<u8>> raws;
+  std::vector<svc::Job> jobs;
+  raws.reserve(positional.size() - 1);
+  for (std::size_t i = 1; i < positional.size(); ++i) {
+    raws.push_back(io::read_file(positional[i]));
+    jobs.push_back({std::filesystem::path(positional[i]).filename().string(),
+                    make_field(raws.back(), fl.dtype), fl.params});
+  }
+  svc::BatchCompressor batch({.threads = fl.threads});
+  std::vector<svc::JobResult> results = batch.run(jobs);
+  int failed = 0;
+  svc::ArchiveWriter writer(out_path);
+  for (const svc::JobResult& r : results) {
+    if (r.failed) {
+      std::fprintf(stderr, "pfpl: %s: %s\n", r.name.c_str(), r.error.c_str());
+      ++failed;
+      continue;
+    }
+    writer.add(r.name, r.header, r.stream, r.raw_bytes);
+  }
+  writer.finish();
+  std::printf("%s: %zu entries\n%s\n", out_path.c_str(), results.size() - failed,
+              batch.stats().summary().c_str());
+  return failed ? 1 : 0;
+}
+
+int cmd_unpack(const std::vector<std::string>& positional, const Flags& fl) {
+  if (positional.size() != 2) usage();
+  svc::ArchiveReader reader(positional[0]);
+  std::filesystem::create_directories(positional[1]);
+  std::size_t n = 0;
+  for (const svc::ArchiveEntry& e : reader.entries()) {
+    if (!fl.entry.empty() && e.name != fl.entry) continue;
+    Bytes stream = reader.read_entry(e);
+    std::vector<u8> raw = pfpl::decompress(stream, fl.params.exec);
+    std::string out = (std::filesystem::path(positional[1]) / e.name).string();
+    io::write_file(out, raw.data(), raw.size());
+    std::printf("%s: %zu -> %zu bytes\n", e.name.c_str(), stream.size(), raw.size());
+    ++n;
+  }
+  if (!fl.entry.empty() && n == 0)
+    throw CompressionError("PFPA: no entry named '" + fl.entry + "'");
+  return 0;
+}
+
+int cmd_list(const std::vector<std::string>& positional) {
+  if (positional.size() != 1) usage();
+  svc::ArchiveReader reader(positional[0]);
+  std::printf("%-24s %-5s %-4s %-10s %12s %12s %8s\n", "name", "dtype", "eb", "eps",
+              "raw", "compressed", "ratio");
+  for (const svc::ArchiveEntry& e : reader.entries()) {
+    std::printf("%-24s %-5s %-4s %-10g %12llu %12llu %8.3f\n", e.name.c_str(),
+                to_string(e.dtype), to_string(e.eb_type), e.eps,
+                static_cast<unsigned long long>(e.raw_size),
+                static_cast<unsigned long long>(e.size),
+                e.size ? static_cast<double>(e.raw_size) / static_cast<double>(e.size) : 0.0);
+  }
+  std::printf("%zu entries\n", reader.entries().size());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 3) usage();
   std::string mode = argv[1];
   try {
+    if (mode == "pack" || mode == "unpack" || mode == "list") {
+      std::vector<std::string> positional;
+      Flags fl = parse_flags(argc, argv, 2, &positional);
+      if (mode == "pack") return cmd_pack(positional, fl);
+      if (mode == "unpack") return cmd_unpack(positional, fl);
+      return cmd_list(positional);
+    }
     if (mode == "info") {
       Bytes in = io::read_file(argv[2]);
       pfpl::Header h = pfpl::peek_header(in);
@@ -85,39 +235,10 @@ int main(int argc, char** argv) {
     }
     if (argc < 4) usage();
     std::string in_path = argv[2], out_path = argv[3];
-    DType dtype = DType::F32;
-    pfpl::Params p;
-    for (int i = 4; i < argc; ++i) {
-      std::string a = argv[i];
-      auto need = [&](const char* what) -> std::string {
-        if (i + 1 >= argc) {
-          std::fprintf(stderr, "missing value for %s\n", what);
-          usage();
-        }
-        return argv[++i];
-      };
-      if (a == "--dtype") {
-        std::string v = need("--dtype");
-        dtype = v == "f64" ? DType::F64 : DType::F32;
-      } else if (a == "--eb") {
-        std::string v = need("--eb");
-        p.eb = v == "rel" ? EbType::REL : (v == "noa" ? EbType::NOA : EbType::ABS);
-      } else if (a == "--eps") {
-        p.eps = std::stod(need("--eps"));
-      } else if (a == "--exec") {
-        p.exec = parse_exec(need("--exec"));
-      } else {
-        usage();
-      }
-    }
+    Flags fl = parse_flags(argc, argv, 4, nullptr);
     if (mode == "c") {
       std::vector<u8> raw = io::read_file(in_path);
-      Field f;
-      if (dtype == DType::F32)
-        f = Field(reinterpret_cast<const float*>(raw.data()), raw.size() / 4);
-      else
-        f = Field(reinterpret_cast<const double*>(raw.data()), raw.size() / 8);
-      Bytes out = pfpl::compress(f, p);
+      Bytes out = pfpl::compress(make_field(raw, fl.dtype), fl.params);
       io::write_file(out_path, out.data(), out.size());
       std::printf("%zu -> %zu bytes (ratio %.3f)\n", raw.size(), out.size(),
                   static_cast<double>(raw.size()) / static_cast<double>(out.size()));
@@ -125,12 +246,17 @@ int main(int argc, char** argv) {
     }
     if (mode == "d") {
       Bytes in = io::read_file(in_path);
-      std::vector<u8> raw = pfpl::decompress(in, p.exec);
+      std::vector<u8> raw = pfpl::decompress(in, fl.params.exec);
       io::write_file(out_path, raw.data(), raw.size());
       std::printf("%zu -> %zu bytes\n", in.size(), raw.size());
       return 0;
     }
     usage();
+  } catch (const CompressionError& e) {
+    // Truncated/corrupt streams, bad bounds, archive checksum failures:
+    // report cleanly, never let the exception escape as a crash.
+    std::fprintf(stderr, "pfpl: %s\n", e.what());
+    return 1;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "pfpl: %s\n", e.what());
     return 1;

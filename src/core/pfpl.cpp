@@ -8,6 +8,7 @@
 #include <cstring>
 #include <numeric>
 
+#include "core/chunked.hpp"
 #include "core/pipeline.hpp"
 #include "core/quantizers.hpp"
 #include "fpmath/det_math.hpp"
@@ -56,56 +57,20 @@ u32 encode_one_chunk(const T* data, std::size_t beg, std::size_t k, const Q& q,
   return compressed ? sz : (sz | kRawChunkFlag);
 }
 
-template <typename T, typename Q>
-Bytes compress_typed(const T* data, std::size_t n, const Q& q, Header h, Executor exec) {
+template <typename T>
+u32 encode_chunk_typed(const T* data, const Header& h, std::size_t c, Executor exec,
+                       std::vector<u8>& payload) {
   using Bits = typename fpmath::FloatTraits<T>::Bits;
   constexpr std::size_t cw = chunk_words<Bits>();
-  const std::size_t nchunks = (n + cw - 1) / cw;
-  h.value_count = n;
-  h.chunk_count = static_cast<u32>(nchunks);
-
-  std::vector<std::vector<u8>> payloads(nchunks);
-  std::vector<u32> sizes(nchunks, 0);
-
-  if (exec == Executor::OpenMP) {
-    // Dynamic scheduling mirrors the paper's dynamic chunk assignment for
-    // load balance (chunks differ in compressibility).
-#pragma omp parallel for schedule(dynamic)
-    for (std::ptrdiff_t c = 0; c < static_cast<std::ptrdiff_t>(nchunks); ++c) {
-      std::size_t beg = static_cast<std::size_t>(c) * cw;
-      sizes[c] = encode_one_chunk(data, beg, std::min(cw, n - beg), q, exec, payloads[c]);
-    }
-  } else {
-    for (std::size_t c = 0; c < nchunks; ++c) {
-      std::size_t beg = c * cw;
-      sizes[c] = encode_one_chunk(data, beg, std::min(cw, n - beg), q, exec, payloads[c]);
-    }
+  const std::size_t n = h.value_count;
+  const std::size_t beg = c * cw;
+  const std::size_t k = std::min(cw, n - beg);
+  if (h.eb_type == EbType::REL) {
+    RelQuantizer<T> q(h.eps, h.recon_param);
+    return encode_one_chunk(data, beg, k, q, exec, payload);
   }
-
-  // Concatenate. The GPU path computes the chunk offsets with the simulated
-  // decoupled look-back scan (Section III-E); the result is the same
-  // exclusive prefix sum the CPU path takes, so the bytes are identical.
-  std::vector<u64> plain(nchunks);
-  for (std::size_t c = 0; c < nchunks; ++c) plain[c] = sizes[c] & ~kRawChunkFlag;
-  std::vector<u64> offsets;
-  if (exec == Executor::GpuSim) {
-    offsets = sim::lookback_exclusive_offsets(plain);
-  } else {
-    offsets.assign(nchunks, 0);
-    std::exclusive_scan(plain.begin(), plain.end(), offsets.begin(), u64{0});
-  }
-  u64 total = nchunks ? offsets.back() + plain.back() : 0;
-
-  Bytes out;
-  out.reserve(sizeof(Header) + nchunks * sizeof(u32) + total);
-  write_header(h, out);
-  const u8* sp = reinterpret_cast<const u8*>(sizes.data());
-  out.insert(out.end(), sp, sp + nchunks * sizeof(u32));
-  std::size_t base = out.size();
-  out.resize(base + total);
-  for (std::size_t c = 0; c < nchunks; ++c)
-    std::memcpy(out.data() + base + offsets[c], payloads[c].data(), plain[c]);
-  return out;
+  AbsQuantizer<T> q(h.recon_param);
+  return encode_one_chunk(data, beg, k, q, exec, payload);
 }
 
 template <typename T, typename Q>
@@ -171,34 +136,6 @@ std::vector<u8> decompress_typed(const Bytes& in, const Header& h, const Q& q,
 }
 
 template <typename T>
-Bytes compress_dispatch_eb(const T* data, std::size_t n, const Params& p) {
-  Header h;
-  h.dtype = std::is_same_v<T, float> ? DType::F32 : DType::F64;
-  h.eb_type = p.eb;
-  h.eps = p.eps;
-  switch (p.eb) {
-    case EbType::ABS: {
-      h.recon_param = p.eps;
-      AbsQuantizer<T> q(p.eps);
-      return compress_typed(data, n, q, h, p.exec);
-    }
-    case EbType::NOA: {
-      if (!(p.eps >= 0.0) || !std::isfinite(p.eps))
-        throw CompressionError("NOA error bound must be finite and non-negative");
-      h.recon_param = p.eps * finite_range(data, n);
-      AbsQuantizer<T> q(h.recon_param);
-      return compress_typed(data, n, q, h, p.exec);
-    }
-    case EbType::REL: {
-      h.recon_param = fpmath::det_log1p(p.eps);
-      RelQuantizer<T> q(p.eps, h.recon_param);
-      return compress_typed(data, n, q, h, p.exec);
-    }
-  }
-  throw CompressionError("unknown error-bound type");
-}
-
-template <typename T>
 std::vector<u8> decompress_dispatch_eb(const Bytes& in, const Header& h, Executor exec) {
   switch (h.eb_type) {
     case EbType::ABS: {
@@ -217,12 +154,109 @@ std::vector<u8> decompress_dispatch_eb(const Bytes& in, const Header& h, Executo
   throw CompressionError("PFPL stream: unknown error-bound type");
 }
 
+template <typename T>
+void plan_header_typed(const T* data, std::size_t n, const Params& p, Header& h) {
+  switch (p.eb) {
+    case EbType::ABS: {
+      h.recon_param = p.eps;
+      AbsQuantizer<T> validate(p.eps);  // throws on invalid bound
+      (void)validate;
+      return;
+    }
+    case EbType::NOA: {
+      if (!(p.eps >= 0.0) || !std::isfinite(p.eps))
+        throw CompressionError("NOA error bound must be finite and non-negative");
+      h.recon_param = p.eps * finite_range(data, n);
+      AbsQuantizer<T> validate(h.recon_param);
+      (void)validate;
+      return;
+    }
+    case EbType::REL: {
+      h.recon_param = fpmath::det_log1p(p.eps);
+      RelQuantizer<T> validate(p.eps, h.recon_param);  // throws on invalid bound
+      (void)validate;
+      return;
+    }
+  }
+  throw CompressionError("unknown error-bound type");
+}
+
 }  // namespace
 
-Bytes compress(const Field& in, const Params& p) {
+std::size_t chunk_values(DType dtype) {
+  return dtype == DType::F32 ? chunk_words<u32>() : chunk_words<u64>();
+}
+
+Header plan_header(const Field& in, const Params& p) {
+  Header h;
+  h.dtype = in.dtype;
+  h.eb_type = p.eb;
+  h.eps = p.eps;
+  const std::size_t n = in.count();
   if (in.dtype == DType::F32)
-    return compress_dispatch_eb(static_cast<const float*>(in.data), in.count(), p);
-  return compress_dispatch_eb(static_cast<const double*>(in.data), in.count(), p);
+    plan_header_typed(static_cast<const float*>(in.data), n, p, h);
+  else
+    plan_header_typed(static_cast<const double*>(in.data), n, p, h);
+  const std::size_t cw = chunk_values(in.dtype);
+  h.value_count = n;
+  h.chunk_count = static_cast<u32>((n + cw - 1) / cw);
+  return h;
+}
+
+u32 encode_chunk(const Field& in, const Header& h, std::size_t c, Executor exec,
+                 std::vector<u8>& out) {
+  if (in.dtype == DType::F32)
+    return encode_chunk_typed(static_cast<const float*>(in.data), h, c, exec, out);
+  return encode_chunk_typed(static_cast<const double*>(in.data), h, c, exec, out);
+}
+
+Bytes assemble_stream(const Header& h, const std::vector<u32>& sizes,
+                      const std::vector<Bytes>& payloads, Executor exec) {
+  const std::size_t nchunks = h.chunk_count;
+  // Concatenate. The GPU path computes the chunk offsets with the simulated
+  // decoupled look-back scan (Section III-E); the result is the same
+  // exclusive prefix sum the CPU path takes, so the bytes are identical.
+  std::vector<u64> plain(nchunks);
+  for (std::size_t c = 0; c < nchunks; ++c) plain[c] = sizes[c] & ~kRawChunkFlag;
+  std::vector<u64> offsets;
+  if (exec == Executor::GpuSim) {
+    offsets = sim::lookback_exclusive_offsets(plain);
+  } else {
+    offsets.assign(nchunks, 0);
+    std::exclusive_scan(plain.begin(), plain.end(), offsets.begin(), u64{0});
+  }
+  u64 total = nchunks ? offsets.back() + plain.back() : 0;
+
+  Bytes out;
+  out.reserve(sizeof(Header) + nchunks * sizeof(u32) + total);
+  write_header(h, out);
+  const u8* sp = reinterpret_cast<const u8*>(sizes.data());
+  out.insert(out.end(), sp, sp + nchunks * sizeof(u32));
+  std::size_t base = out.size();
+  out.resize(base + total);
+  for (std::size_t c = 0; c < nchunks; ++c)
+    std::memcpy(out.data() + base + offsets[c], payloads[c].data(), plain[c]);
+  return out;
+}
+
+Bytes compress(const Field& in, const Params& p) {
+  Header h = plan_header(in, p);
+  const std::size_t nchunks = h.chunk_count;
+  std::vector<Bytes> payloads(nchunks);
+  std::vector<u32> sizes(nchunks, 0);
+
+  if (p.exec == Executor::OpenMP) {
+    // Dynamic scheduling mirrors the paper's dynamic chunk assignment for
+    // load balance (chunks differ in compressibility).
+#pragma omp parallel for schedule(dynamic)
+    for (std::ptrdiff_t c = 0; c < static_cast<std::ptrdiff_t>(nchunks); ++c) {
+      sizes[c] = encode_chunk(in, h, static_cast<std::size_t>(c), p.exec, payloads[c]);
+    }
+  } else {
+    for (std::size_t c = 0; c < nchunks; ++c)
+      sizes[c] = encode_chunk(in, h, c, p.exec, payloads[c]);
+  }
+  return assemble_stream(h, sizes, payloads, p.exec);
 }
 
 std::vector<u8> decompress(const Bytes& stream, Executor exec) {

@@ -1,5 +1,8 @@
 // Raw binary file I/O for scalar fields (the SDRBench on-disk format: a bare
 // array of little-endian f32/f64 values, dims supplied out of band).
+//
+// All functions throw CompressionError on failure; messages include the
+// strerror(errno) text of the failing call.
 #pragma once
 
 #include <cstring>
@@ -12,6 +15,14 @@ namespace repro::io {
 
 /// Read a whole file into a byte buffer. Throws CompressionError on failure.
 std::vector<u8> read_file(const std::string& path);
+
+/// Size of a file in bytes.
+u64 file_size(const std::string& path);
+
+/// Read exactly `size` bytes starting at `offset` (random access — the PFPA
+/// archive reader extracts single entries with this, never touching the rest
+/// of the file). Throws if the range extends past end of file.
+std::vector<u8> read_file_range(const std::string& path, u64 offset, std::size_t size);
 
 /// Write a byte buffer to a file (truncating). Throws on failure.
 void write_file(const std::string& path, const void* data, std::size_t size);

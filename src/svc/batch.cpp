@@ -1,0 +1,157 @@
+#include "svc/batch.hpp"
+
+#include <algorithm>
+#include <condition_variable>
+#include <future>
+#include <mutex>
+
+#include "common/timer.hpp"
+#include "core/chunked.hpp"
+#include "svc/thread_pool.hpp"
+
+namespace repro::svc {
+namespace {
+
+/// Counting byte-budget semaphore: acquire blocks while the budget is
+/// exhausted. A single acquisition larger than the whole budget is admitted
+/// alone (otherwise one oversized chunk would deadlock the batch).
+class ByteBudget {
+ public:
+  explicit ByteBudget(std::size_t limit) : limit_(std::max<std::size_t>(1, limit)) {}
+
+  void acquire(std::size_t bytes) {
+    std::unique_lock<std::mutex> lk(m_);
+    cv_.wait(lk, [&] { return used_ == 0 || used_ + bytes <= limit_; });
+    used_ += bytes;
+  }
+  void release(std::size_t bytes) {
+    {
+      std::lock_guard<std::mutex> lk(m_);
+      used_ -= std::min(bytes, used_);
+    }
+    cv_.notify_all();
+  }
+
+ private:
+  std::mutex m_;
+  std::condition_variable cv_;
+  std::size_t limit_;
+  std::size_t used_ = 0;
+};
+
+}  // namespace
+
+BatchCompressor::BatchCompressor() : BatchCompressor(Options{}) {}
+
+BatchCompressor::BatchCompressor(const Options& opts)
+    : pool_(std::make_unique<ThreadPool>(opts.threads, opts.queue_capacity)),
+      max_inflight_bytes_(opts.max_inflight_bytes) {}
+
+BatchCompressor::~BatchCompressor() = default;
+
+unsigned BatchCompressor::threads() const { return pool_->worker_count(); }
+
+std::vector<JobResult> BatchCompressor::run(const std::vector<Job>& jobs) {
+  Timer wall;
+  stats_ = SvcStats{};
+  stats_.jobs = jobs.size();
+  stats_.threads = pool_->worker_count();
+  const ThreadPool::Counters before = pool_->counters();
+
+  std::vector<JobResult> results(jobs.size());
+
+  // Phase 1 — plan every job's header up front (sequential; NOA jobs run
+  // their global range reduction here). A job that fails to plan is marked
+  // failed and gets no chunk tasks.
+  Timer plan_t;
+  struct Plan {
+    pfpl::Header header;
+    std::vector<Bytes> payloads;
+    std::vector<u32> sizes;
+    std::vector<std::future<u32>> futures;
+  };
+  std::vector<Plan> plans(jobs.size());
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    results[j].name = jobs[j].name;
+    results[j].raw_bytes = jobs[j].field.byte_size();
+    stats_.bytes_in += results[j].raw_bytes;
+    try {
+      plans[j].header = pfpl::plan_header(jobs[j].field, jobs[j].params);
+      plans[j].payloads.resize(plans[j].header.chunk_count);
+      plans[j].sizes.assign(plans[j].header.chunk_count, 0);
+      plans[j].futures.reserve(plans[j].header.chunk_count);
+      results[j].header = plans[j].header;
+    } catch (const std::exception& e) {
+      results[j].failed = true;
+      results[j].error = e.what();
+      ++stats_.jobs_failed;
+    }
+  }
+  stats_.plan_ms = plan_t.seconds() * 1e3;
+
+  // Phase 2 — fan every chunk of every job across the pool. Admission is
+  // throttled by the in-flight byte budget; each task writes its payload
+  // into its own pre-allocated slot, which is what makes the assembled
+  // stream independent of execution order.
+  Timer encode_t;
+  ByteBudget budget(max_inflight_bytes_);
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    if (results[j].failed) continue;
+    Plan& plan = plans[j];
+    const Field& field = jobs[j].field;
+    const pfpl::Executor exec = jobs[j].params.exec;
+    const std::size_t chunk_bytes =
+        pfpl::chunk_values(field.dtype) * dtype_size(field.dtype);
+    for (std::size_t c = 0; c < plan.header.chunk_count; ++c) {
+      budget.acquire(chunk_bytes);
+      Bytes* slot = &plan.payloads[c];
+      const pfpl::Header* h = &plan.header;
+      plan.futures.push_back(pool_->submit([&field, h, c, exec, slot, &budget,
+                                            chunk_bytes]() -> u32 {
+        struct Release {
+          ByteBudget* b;
+          std::size_t n;
+          ~Release() { b->release(n); }
+        } release{&budget, chunk_bytes};
+        return pfpl::encode_chunk(field, *h, c, exec, *slot);
+      }));
+      ++stats_.chunks;
+    }
+  }
+  // Harvest chunk results in slot order (the futures also propagate any
+  // encode-side exception to the owning job).
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    if (results[j].failed) continue;
+    try {
+      for (std::size_t c = 0; c < plans[j].futures.size(); ++c)
+        plans[j].sizes[c] = plans[j].futures[c].get();
+    } catch (const std::exception& e) {
+      // Drain the job's remaining futures so no task outlives its slots.
+      for (auto& f : plans[j].futures)
+        if (f.valid()) f.wait();
+      results[j].failed = true;
+      results[j].error = e.what();
+      ++stats_.jobs_failed;
+    }
+  }
+  stats_.encode_ms = encode_t.seconds() * 1e3;
+
+  // Phase 3 — assemble each job's stream in job order; byte-identical to
+  // one-shot pfpl::compress by construction.
+  Timer assemble_t;
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    if (results[j].failed) continue;
+    results[j].stream = pfpl::assemble_stream(plans[j].header, plans[j].sizes,
+                                              plans[j].payloads, jobs[j].params.exec);
+    stats_.bytes_out += results[j].stream.size();
+  }
+  stats_.assemble_ms = assemble_t.seconds() * 1e3;
+
+  const ThreadPool::Counters after = pool_->counters();
+  stats_.tasks_stolen = after.stolen - before.stolen;
+  stats_.peak_queue_depth = after.peak_pending;
+  stats_.wall_ms = wall.seconds() * 1e3;
+  return results;
+}
+
+}  // namespace repro::svc

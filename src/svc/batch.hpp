@@ -1,0 +1,78 @@
+// BatchCompressor — concurrent multi-field compression with a determinism
+// guarantee.
+//
+// A batch is N independent jobs (field + Params). Each job is decomposed
+// into its chunk tasks (core/chunked.hpp) and fanned across a work-stealing
+// ThreadPool; chunk results land in per-job slot arrays, so the assembled
+// stream of every job is *byte-identical* to single-threaded pfpl::compress
+// regardless of worker count, scheduling order, or steals. The invariant is
+// structural — same plan, same per-chunk code, slot-ordered assembly — not a
+// property of the scheduler, and tests/test_svc.cpp pins it.
+//
+// Backpressure: chunk tasks are admitted against a budget of in-flight input
+// bytes (Options::max_inflight_bytes). The submitting thread blocks when the
+// budget is exhausted, so a batch of many large fields never materializes
+// more than roughly budget + queue-depth chunks of working memory at once —
+// the same reason the streaming encoder exists (out-of-core, Section III-E),
+// applied to the service layer.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "core/pfpl.hpp"
+#include "svc/stats.hpp"
+
+namespace repro::svc {
+
+class ThreadPool;
+
+/// One unit of service work: a named field plus compression parameters.
+/// The field is borrowed; it must stay alive until run() returns.
+struct Job {
+  std::string name;
+  Field field;
+  pfpl::Params params;
+};
+
+struct JobResult {
+  std::string name;
+  Bytes stream;           ///< empty when failed
+  pfpl::Header header;    ///< valid when !failed
+  u64 raw_bytes = 0;
+  bool failed = false;
+  std::string error;      ///< CompressionError text when failed
+};
+
+class BatchCompressor {
+ public:
+  struct Options {
+    unsigned threads = 0;                            ///< 0 = hardware concurrency
+    std::size_t max_inflight_bytes = 256u << 20;     ///< chunk-admission budget
+    std::size_t queue_capacity = 4096;               ///< pool's bounded queue
+  };
+
+  BatchCompressor();  // default Options
+  explicit BatchCompressor(const Options& opts);
+  ~BatchCompressor();
+
+  BatchCompressor(const BatchCompressor&) = delete;
+  BatchCompressor& operator=(const BatchCompressor&) = delete;
+
+  /// Compress every job; results are returned in job order. Per-job errors
+  /// (invalid bounds) are captured in JobResult::failed/error, never thrown.
+  std::vector<JobResult> run(const std::vector<Job>& jobs);
+
+  /// Metrics of the most recent run().
+  const SvcStats& stats() const { return stats_; }
+
+  unsigned threads() const;
+
+ private:
+  std::unique_ptr<ThreadPool> pool_;
+  std::size_t max_inflight_bytes_;
+  SvcStats stats_;
+};
+
+}  // namespace repro::svc

@@ -1,0 +1,58 @@
+// Service metrics for the batch-compression service.
+//
+// One SvcStats is filled per BatchCompressor::run() and printed as a single
+// summary line by the CLI — the shape a scrape-and-alert pipeline wants:
+// counts, bytes, scheduler health (queue depth, steals), and per-stage wall
+// time so a regression in planning vs. encoding vs. assembly is attributable
+// at a glance.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace repro::svc {
+
+struct SvcStats {
+  u64 jobs = 0;            ///< jobs submitted to run()
+  u64 jobs_failed = 0;     ///< jobs that ended with an error
+  u64 chunks = 0;          ///< chunk tasks executed
+  u64 bytes_in = 0;        ///< raw scalar bytes across all jobs
+  u64 bytes_out = 0;       ///< compressed stream bytes across all jobs
+  u64 tasks_stolen = 0;    ///< pool tasks taken by work stealing
+  u64 peak_queue_depth = 0;
+  unsigned threads = 0;
+  double plan_ms = 0;      ///< header planning (incl. NOA range reduction)
+  double encode_ms = 0;    ///< submit-to-last-chunk wall time
+  double assemble_ms = 0;  ///< stream assembly + checksums
+  double wall_ms = 0;      ///< total run() wall time
+
+  double ratio() const {
+    return bytes_out ? static_cast<double>(bytes_in) / static_cast<double>(bytes_out) : 0.0;
+  }
+  /// Aggregate compression throughput in GB/s (input bytes over total wall).
+  double gbps() const {
+    return wall_ms > 0 ? static_cast<double>(bytes_in) / 1e6 / wall_ms : 0.0;
+  }
+
+  /// One-line summary, e.g.
+  /// svc: jobs=8 chunks=1024 in=64.0MB out=12.3MB ratio=5.2 1.8GB/s
+  ///      threads=4 stolen=37 depth=512 plan/encode/assemble=0.2/30.1/4.0ms
+  std::string summary() const {
+    char buf[320];
+    std::snprintf(buf, sizeof(buf),
+                  "svc: jobs=%llu%s chunks=%llu in=%.1fMB out=%.1fMB ratio=%.2f "
+                  "%.2fGB/s threads=%u stolen=%llu depth=%llu "
+                  "plan/encode/assemble=%.1f/%.1f/%.1fms",
+                  static_cast<unsigned long long>(jobs),
+                  jobs_failed ? (" failed=" + std::to_string(jobs_failed)).c_str() : "",
+                  static_cast<unsigned long long>(chunks), bytes_in / 1e6, bytes_out / 1e6,
+                  ratio(), gbps(), threads, static_cast<unsigned long long>(tasks_stolen),
+                  static_cast<unsigned long long>(peak_queue_depth), plan_ms, encode_ms,
+                  assemble_ms);
+    return buf;
+  }
+};
+
+}  // namespace repro::svc

@@ -1,0 +1,122 @@
+#include "svc/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace repro::svc {
+
+ThreadPool::ThreadPool(unsigned threads, std::size_t queue_capacity)
+    : capacity_(std::max<std::size_t>(1, queue_capacity)) {
+  if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
+  workers_.reserve(threads);
+  for (unsigned i = 0; i < threads; ++i) workers_.push_back(std::make_unique<Worker>());
+  // Deques exist before any thread starts, so worker_loop can scan all of
+  // them for victims without synchronizing on the vector itself.
+  for (unsigned i = 0; i < threads; ++i)
+    workers_[i]->thread = std::thread(&ThreadPool::worker_loop, this, i);
+}
+
+ThreadPool::~ThreadPool() { shutdown(); }
+
+void ThreadPool::enqueue(Task t) {
+  unsigned target;
+  {
+    std::unique_lock<std::mutex> lk(state_m_);
+    space_cv_.wait(lk, [&] { return stopping_ || pending_ < capacity_; });
+    if (stopping_) throw CompressionError("svc::ThreadPool: submit after shutdown");
+    ++pending_;
+    ++counters_.submitted;
+    counters_.peak_pending = std::max<u64>(counters_.peak_pending, pending_);
+    target = static_cast<unsigned>(next_worker_++ % workers_.size());
+  }
+  {
+    std::lock_guard<std::mutex> lk(workers_[target]->m);
+    workers_[target]->q.push_back(std::move(t));
+  }
+  work_cv_.notify_one();
+}
+
+bool ThreadPool::try_pop_own(unsigned self, Task& out) {
+  Worker& w = *workers_[self];
+  std::lock_guard<std::mutex> lk(w.m);
+  if (w.q.empty()) return false;
+  out = std::move(w.q.back());  // owner pops LIFO
+  w.q.pop_back();
+  return true;
+}
+
+bool ThreadPool::try_steal(unsigned self, Task& out) {
+  const unsigned n = static_cast<unsigned>(workers_.size());
+  for (unsigned k = 1; k < n; ++k) {
+    Worker& victim = *workers_[(self + k) % n];
+    std::lock_guard<std::mutex> lk(victim.m);
+    if (victim.q.empty()) continue;
+    out = std::move(victim.q.front());  // thieves steal FIFO
+    victim.q.pop_front();
+    return true;
+  }
+  return false;
+}
+
+void ThreadPool::worker_loop(unsigned self) {
+  for (;;) {
+    Task task;
+    bool got = try_pop_own(self, task);
+    bool was_steal = false;
+    if (!got) {
+      got = try_steal(self, task);
+      was_steal = got;
+    }
+    if (!got) {
+      std::unique_lock<std::mutex> lk(state_m_);
+      // Re-check under the lock: a task may have been enqueued between the
+      // deque scans and this wait.
+      work_cv_.wait(lk, [&] { return pending_ > 0 || stopping_; });
+      if (pending_ == 0 && stopping_) return;
+      continue;  // retry the deque scan
+    }
+    {
+      std::lock_guard<std::mutex> lk(state_m_);
+      --pending_;
+      ++running_;
+      if (was_steal) ++counters_.stolen;
+    }
+    space_cv_.notify_one();  // queue slot freed on dequeue, not completion
+    task();
+    {
+      std::lock_guard<std::mutex> lk(state_m_);
+      --running_;
+      ++counters_.executed;
+      if (pending_ == 0 && running_ == 0) idle_cv_.notify_all();
+    }
+    space_cv_.notify_one();
+  }
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lk(state_m_);
+  idle_cv_.wait(lk, [&] { return pending_ == 0 && running_ == 0; });
+}
+
+void ThreadPool::shutdown() {
+  {
+    std::lock_guard<std::mutex> lk(state_m_);
+    if (stopping_ && workers_.empty()) return;
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  space_cv_.notify_all();
+  for (auto& w : workers_)
+    if (w->thread.joinable()) w->thread.join();
+}
+
+std::size_t ThreadPool::pending() const {
+  std::lock_guard<std::mutex> lk(state_m_);
+  return pending_;
+}
+
+ThreadPool::Counters ThreadPool::counters() const {
+  std::lock_guard<std::mutex> lk(state_m_);
+  return counters_;
+}
+
+}  // namespace repro::svc

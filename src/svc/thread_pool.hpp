@@ -1,0 +1,105 @@
+// Work-stealing thread pool for the batch-compression service.
+//
+// Design (DESIGN.md §svc):
+//   * one task deque per worker. The owner pushes and pops at the back
+//     (LIFO, cache-warm); idle workers steal from the front of a victim's
+//     deque (FIFO, oldest task first) — the classic Blumofe/Leiserson
+//     discipline, mirroring the paper's dynamic chunk assignment for load
+//     balance (chunks differ in compressibility).
+//   * external submissions are distributed round-robin and return a
+//     std::future; submit() BLOCKS while `queue_capacity` tasks are already
+//     pending — the bounded queue is the service's backpressure primitive, so
+//     a fast producer cannot buffer unbounded work in memory.
+//   * graceful shutdown: the destructor (or shutdown()) lets every already-
+//     queued task run to completion, then joins the workers. Tasks submitted
+//     after shutdown began are rejected with CompressionError.
+//
+// The pool is deliberately scheduler-only: task *results* are delivered via
+// futures, so any execution order yields the same values — determinism of
+// the compressed output is the responsibility of the caller's slot layout
+// (see svc/batch.cpp), not of the scheduler.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace repro::svc {
+
+class ThreadPool {
+ public:
+  /// Scheduler counters (monotonic over the pool's lifetime).
+  struct Counters {
+    u64 submitted = 0;      ///< tasks accepted by submit()
+    u64 executed = 0;       ///< tasks run to completion
+    u64 stolen = 0;         ///< tasks taken from another worker's deque
+    u64 peak_pending = 0;   ///< high-water mark of the queue depth
+  };
+
+  /// `threads` == 0 selects std::thread::hardware_concurrency() (min 1).
+  explicit ThreadPool(unsigned threads = 0, std::size_t queue_capacity = 4096);
+  ~ThreadPool();  // graceful: drains queued tasks, then joins
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Schedule `f` and return a future for its result. Blocks while the
+  /// pending-task count is at capacity; throws CompressionError after
+  /// shutdown() has begun.
+  template <typename F, typename R = std::invoke_result_t<std::decay_t<F>>>
+  std::future<R> submit(F&& f) {
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
+    std::future<R> fut = task->get_future();
+    enqueue([task] { (*task)(); });
+    return fut;
+  }
+
+  /// Block until every queued and running task has finished.
+  void wait_idle();
+
+  /// Begin graceful shutdown (idempotent): queued tasks still run; new
+  /// submissions are rejected. Returns after all workers have joined.
+  void shutdown();
+
+  unsigned worker_count() const { return static_cast<unsigned>(workers_.size()); }
+  std::size_t pending() const;
+  Counters counters() const;
+
+ private:
+  using Task = std::function<void()>;
+
+  struct Worker {
+    mutable std::mutex m;
+    std::deque<Task> q;
+    std::thread thread;
+  };
+
+  void enqueue(Task t);
+  void worker_loop(unsigned self);
+  bool try_pop_own(unsigned self, Task& out);
+  bool try_steal(unsigned self, Task& out);
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::size_t capacity_;
+
+  // Global scheduler state: pending/running counts, shutdown flag, counters.
+  mutable std::mutex state_m_;
+  std::condition_variable work_cv_;   ///< workers sleep here
+  std::condition_variable space_cv_;  ///< producers blocked on the bound
+  std::condition_variable idle_cv_;   ///< wait_idle()/shutdown() sleep here
+  std::size_t pending_ = 0;           ///< queued, not yet started
+  std::size_t running_ = 0;           ///< currently executing
+  bool stopping_ = false;
+  u64 next_worker_ = 0;  ///< round-robin cursor for external submissions
+  Counters counters_;
+};
+
+}  // namespace repro::svc

@@ -2,6 +2,8 @@
 // std::system against the built binary).
 #include <gtest/gtest.h>
 
+#include <sys/wait.h>
+
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -67,9 +69,13 @@ class CliTest : public ::testing::Test {
   void SetUp() override {
     cli = cli_path();
     if (cli.empty()) GTEST_SKIP() << "pfpl CLI binary not found";
-    in = tmp_path("cli_in.raw");
-    comp = tmp_path("cli_out.pfpl");
-    out = tmp_path("cli_back.raw");
+    // Prefix temp files with the test name: ctest runs these in parallel,
+    // and shared paths would let one test clobber (or corrupt) another's
+    // input mid-read.
+    std::string tag = ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    in = tmp_path(tag + "_cli_in.raw");
+    comp = tmp_path(tag + "_cli_out.pfpl");
+    out = tmp_path(tag + "_cli_back.raw");
     data::Rng rng(7);
     values.resize(50000);
     double acc = 0;
@@ -128,4 +134,92 @@ TEST_F(CliTest, BadUsageFails) {
   EXPECT_NE(run(cli), 0);
   EXPECT_NE(run(cli + " c " + in), 0);
   EXPECT_NE(run(cli + " d /nonexistent.pfpl " + out), 0);
+}
+
+TEST_F(CliTest, CorruptInputExitsOneNotCrash) {
+  // Regression: a truncated or corrupt .pfpl must produce exit code 1 and a
+  // clean diagnostic on d/info/verify, never an unhandled exception (which
+  // would abort with SIGABRT and a non-1 status from std::system).
+  ASSERT_EQ(run(cli + " c " + in + " " + comp + " --eb abs --eps 1e-3"), 0);
+  Bytes full = io::read_file(comp);
+
+  // Truncated header.
+  io::write_file(comp, full.data(), 10);
+  for (const char* mode : {"d", "info", "verify"}) {
+    std::string cmd = std::string(mode) == "d"   ? cli + " d " + comp + " " + out
+                      : std::string(mode) == "info" ? cli + " info " + comp
+                                                    : cli + " verify " + in + " " + comp;
+    int status = run(cmd);
+    ASSERT_TRUE(WIFEXITED(status)) << mode << ": killed by signal";
+    EXPECT_EQ(WEXITSTATUS(status), 1) << mode;
+  }
+
+  // Bad magic.
+  Bytes bad = full;
+  bad[0] ^= 0xFF;
+  io::write_file(comp, bad.data(), bad.size());
+  int status = run(cli + " d " + comp + " " + out);
+  ASSERT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 1);
+
+  // Truncated payload (valid header, missing chunk bytes).
+  io::write_file(comp, full.data(), full.size() - full.size() / 4);
+  status = run(cli + " d " + comp + " " + out);
+  ASSERT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 1);
+}
+
+TEST_F(CliTest, PackListUnpackRoundTrip) {
+  // Second input field so the archive has two entries.
+  std::string in2 = tmp_path("cli_in2.raw");
+  std::vector<float> other(values.size());
+  for (std::size_t i = 0; i < other.size(); ++i) other[i] = -values[i];
+  io::write_file(in2, other.data(), other.size() * 4);
+
+  std::string pfpa = tmp_path("cli_arch.pfpa");
+  std::string outdir = tmp_path("cli_unpacked");
+  ASSERT_EQ(run(cli + " pack " + pfpa + " " + in + " " + in2 +
+                " --eb abs --eps 1e-3 --threads 4"),
+            0);
+  ASSERT_TRUE(fs::exists(pfpa));
+  EXPECT_EQ(run(cli + " list " + pfpa), 0);
+
+  // Full unpack restores every field within the bound.
+  ASSERT_EQ(run(cli + " unpack " + pfpa + " " + outdir), 0);
+  auto back = io::read_values<float>(
+      (fs::path(outdir) / fs::path(in).filename()).string());
+  ASSERT_EQ(back.size(), values.size());
+  for (std::size_t i = 0; i < values.size(); ++i)
+    ASSERT_LE(std::abs(static_cast<double>(values[i]) - back[i]), 1e-3) << i;
+
+  // Selective extraction of a single entry.
+  std::string outdir2 = tmp_path("cli_unpacked_one");
+  ASSERT_EQ(run(cli + " unpack " + pfpa + " " + outdir2 + " --entry " +
+                fs::path(in2).filename().string()),
+            0);
+  EXPECT_TRUE(fs::exists(fs::path(outdir2) / fs::path(in2).filename()));
+  EXPECT_FALSE(fs::exists(fs::path(outdir2) / fs::path(in).filename()));
+  EXPECT_NE(run(cli + " unpack " + pfpa + " " + outdir2 + " --entry missing"), 0);
+
+  // Determinism at the CLI level: worker count must not change a single
+  // byte of the archive (entries are slot-assembled, the index is ordered).
+  std::string pfpa1 = tmp_path("cli_arch_t1.pfpa");
+  ASSERT_EQ(run(cli + " pack " + pfpa1 + " " + in + " " + in2 +
+                " --eb abs --eps 1e-3 --threads 1"),
+            0);
+  EXPECT_EQ(io::read_file(pfpa1), io::read_file(pfpa));
+  fs::remove(pfpa1);
+
+  // A corrupted archive is rejected with exit 1.
+  Bytes raw = io::read_file(pfpa);
+  raw[raw.size() - 5] ^= 0xA5;  // inside footer: index CRC / magic
+  io::write_file(pfpa, raw.data(), raw.size());
+  int status = run(cli + " list " + pfpa);
+  ASSERT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 1);
+
+  fs::remove(in2);
+  fs::remove(pfpa);
+  fs::remove_all(outdir);
+  fs::remove_all(outdir2);
 }

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "core/pfpl.hpp"
 #include "core/stream.hpp"
@@ -69,6 +70,30 @@ TEST(Stream, RelAndNoaMatchOneShot) {
 TEST(Stream, NoaWithoutRangeThrows) {
   EXPECT_THROW(StreamEncoder(DType::F32, {.eps = 1e-2, .eb = EbType::NOA}),
                CompressionError);
+}
+
+TEST(Stream, NoaErrorPathFullCoverage) {
+  // The missing-range rejection must hold for both dtypes ...
+  EXPECT_THROW(StreamEncoder(DType::F64, {.eps = 1e-2, .eb = EbType::NOA}),
+               CompressionError);
+  // ... and supplying a range does not bypass bound validation: a negative
+  // or non-finite derived bound is rejected by the quantizer.
+  EXPECT_THROW(StreamEncoder(DType::F32,
+                             {.eps = -1.0, .eb = EbType::NOA, .noa_range = 2.0}),
+               CompressionError);
+  EXPECT_THROW(
+      StreamEncoder(DType::F64,
+                    {.eps = std::numeric_limits<double>::infinity(),
+                     .eb = EbType::NOA,
+                     .noa_range = 2.0}),
+      CompressionError);
+  // A valid range constructs fine and zero values stay within bound.
+  StreamEncoder enc(DType::F32, {.eps = 1e-2, .eb = EbType::NOA, .noa_range = 4.0});
+  std::vector<float> zeros(10, 0.0f);
+  enc.append(std::span<const float>(zeros));
+  Bytes c = enc.finish();
+  auto back = pfpl::decompress_as<float>(c);
+  EXPECT_EQ(back, zeros);
 }
 
 TEST(Stream, DecoderReadsArbitraryGranularities) {

@@ -1,0 +1,336 @@
+// Tests for the svc batch-compression service: the work-stealing thread
+// pool, the determinism invariant of BatchCompressor (entry bytes identical
+// to single-threaded pfpl::compress for every worker count), and the PFPA
+// archive container (round-trip, random access, corruption rejection).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <filesystem>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "core/chunked.hpp"
+#include "core/pfpl.hpp"
+#include "data/rng.hpp"
+#include "io/raw_file.hpp"
+#include "svc/archive.hpp"
+#include "svc/batch.hpp"
+#include "svc/checksum.hpp"
+#include "svc/stats.hpp"
+#include "svc/thread_pool.hpp"
+
+using namespace repro;
+namespace fs = std::filesystem;
+
+namespace {
+
+std::string tmp_path(const std::string& name) {
+  return (fs::temp_directory_path() / ("pfpl_svc_" + name)).string();
+}
+
+std::vector<float> wave_f32(std::size_t n, u64 seed) {
+  data::Rng rng(seed);
+  std::vector<float> v(n);
+  double acc = 0;
+  for (auto& x : v) {
+    acc += 0.01 * rng.gaussian();
+    x = static_cast<float>(std::sin(acc) + acc);
+  }
+  return v;
+}
+
+std::vector<double> wave_f64(std::size_t n, u64 seed) {
+  data::Rng rng(seed);
+  std::vector<double> v(n);
+  double acc = 0;
+  for (auto& x : v) {
+    acc += 0.01 * rng.gaussian();
+    x = std::cos(acc) * 3.0 + acc;
+  }
+  return v;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// ThreadPool
+// ---------------------------------------------------------------------------
+
+TEST(ThreadPool, FuturesReturnValues) {
+  svc::ThreadPool pool(4);
+  std::vector<std::future<int>> futs;
+  for (int i = 0; i < 100; ++i) futs.push_back(pool.submit([i] { return i * i; }));
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(futs[i].get(), i * i);
+}
+
+TEST(ThreadPool, ExecutesEveryTaskExactlyOnce) {
+  svc::ThreadPool pool(3, /*queue_capacity=*/16);  // small bound: forces backpressure
+  std::atomic<int> sum{0};
+  std::vector<std::future<void>> futs;
+  for (int i = 1; i <= 500; ++i)
+    futs.push_back(pool.submit([i, &sum] { sum.fetch_add(i); }));
+  for (auto& f : futs) f.get();
+  EXPECT_EQ(sum.load(), 500 * 501 / 2);
+  auto c = pool.counters();
+  EXPECT_EQ(c.submitted, 500u);
+  EXPECT_EQ(c.executed, 500u);
+  EXPECT_LE(c.peak_pending, 16u);  // the bounded queue held
+}
+
+TEST(ThreadPool, WaitIdleDrains) {
+  svc::ThreadPool pool(2);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 50; ++i)
+    pool.submit([&done] { done.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(done.load(), 50);
+  EXPECT_EQ(pool.pending(), 0u);
+}
+
+TEST(ThreadPool, GracefulShutdownRunsQueuedTasks) {
+  std::atomic<int> done{0};
+  {
+    svc::ThreadPool pool(2);
+    for (int i = 0; i < 200; ++i)
+      pool.submit([&done] { done.fetch_add(1); });
+    // Destructor must drain the queue, not drop it.
+  }
+  EXPECT_EQ(done.load(), 200);
+}
+
+TEST(ThreadPool, SubmitAfterShutdownThrows) {
+  svc::ThreadPool pool(1);
+  pool.shutdown();
+  EXPECT_THROW(pool.submit([] {}), CompressionError);
+}
+
+TEST(ThreadPool, TaskExceptionsPropagateThroughFuture) {
+  svc::ThreadPool pool(2);
+  auto f = pool.submit([]() -> int { throw CompressionError("boom"); });
+  EXPECT_THROW(f.get(), CompressionError);
+}
+
+// ---------------------------------------------------------------------------
+// BatchCompressor determinism
+// ---------------------------------------------------------------------------
+
+TEST(BatchCompressor, ByteIdenticalToOneShotForEveryWorkerCount) {
+  auto f32 = wave_f32(50000, 1);
+  auto f64 = wave_f64(30000, 2);
+  auto noisy = wave_f32(4096 * 3 + 17, 3);  // non-multiple of the chunk size
+
+  std::vector<svc::Job> jobs = {
+      {"a", Field(f32.data(), f32.size()), {1e-3, EbType::ABS}},
+      {"b", Field(f64.data(), f64.size()), {1e-2, EbType::REL}},
+      {"c", Field(noisy.data(), noisy.size()), {1e-4, EbType::NOA}},
+  };
+  std::vector<Bytes> oneshot;
+  for (const auto& j : jobs) oneshot.push_back(pfpl::compress(j.field, j.params));
+
+  for (unsigned threads : {1u, 2u, 8u}) {
+    svc::BatchCompressor batch({.threads = threads});
+    auto results = batch.run(jobs);
+    ASSERT_EQ(results.size(), jobs.size());
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      ASSERT_FALSE(results[i].failed) << results[i].error;
+      EXPECT_EQ(results[i].stream, oneshot[i])
+          << "job " << jobs[i].name << " differs at threads=" << threads;
+    }
+  }
+}
+
+TEST(BatchCompressor, TinyInflightBudgetStillDeterministic) {
+  // A budget smaller than one chunk admits chunks one at a time (the
+  // oversized-acquisition escape hatch); bytes must still be identical.
+  auto v = wave_f32(4096 * 8, 4);
+  std::vector<svc::Job> jobs = {{"x", Field(v.data(), v.size()), {1e-3, EbType::ABS}}};
+  svc::BatchCompressor batch({.threads = 4, .max_inflight_bytes = 1024});
+  auto results = batch.run(jobs);
+  ASSERT_FALSE(results[0].failed);
+  EXPECT_EQ(results[0].stream, pfpl::compress(jobs[0].field, jobs[0].params));
+}
+
+TEST(BatchCompressor, InvalidBoundFailsJobNotBatch) {
+  auto v = wave_f32(10000, 5);
+  std::vector<svc::Job> jobs = {
+      {"bad", Field(v.data(), v.size()), {-1.0, EbType::ABS}},
+      {"good", Field(v.data(), v.size()), {1e-3, EbType::ABS}},
+  };
+  svc::BatchCompressor batch({.threads = 2});
+  auto results = batch.run(jobs);
+  EXPECT_TRUE(results[0].failed);
+  EXPECT_FALSE(results[0].error.empty());
+  ASSERT_FALSE(results[1].failed);
+  EXPECT_EQ(results[1].stream, pfpl::compress(jobs[1].field, jobs[1].params));
+  EXPECT_EQ(batch.stats().jobs_failed, 1u);
+}
+
+TEST(BatchCompressor, StatsAreFilled) {
+  auto v = wave_f32(4096 * 4, 6);
+  std::vector<svc::Job> jobs = {{"s", Field(v.data(), v.size()), {1e-3, EbType::ABS}}};
+  svc::BatchCompressor batch({.threads = 2});
+  auto results = batch.run(jobs);
+  ASSERT_FALSE(results[0].failed);
+  const svc::SvcStats& st = batch.stats();
+  EXPECT_EQ(st.jobs, 1u);
+  EXPECT_EQ(st.chunks, 4u);
+  EXPECT_EQ(st.bytes_in, v.size() * 4);
+  EXPECT_EQ(st.bytes_out, results[0].stream.size());
+  EXPECT_EQ(st.threads, 2u);
+  EXPECT_GT(st.ratio(), 1.0);
+  EXPECT_FALSE(st.summary().empty());
+}
+
+// ---------------------------------------------------------------------------
+// Chunked primitives (the contract svc builds on)
+// ---------------------------------------------------------------------------
+
+TEST(Chunked, ManualChunkLoopMatchesOneShot) {
+  auto v = wave_f32(4096 * 2 + 100, 7);
+  Field field(v.data(), v.size());
+  pfpl::Params p{1e-3, EbType::ABS};
+  pfpl::Header h = pfpl::plan_header(field, p);
+  ASSERT_EQ(h.chunk_count, 3u);
+  std::vector<Bytes> payloads(h.chunk_count);
+  std::vector<u32> sizes(h.chunk_count);
+  // Encode in reverse order to prove order-independence.
+  for (std::size_t c = h.chunk_count; c-- > 0;)
+    sizes[c] = pfpl::encode_chunk(field, h, c, p.exec, payloads[c]);
+  Bytes assembled = pfpl::assemble_stream(h, sizes, payloads, p.exec);
+  EXPECT_EQ(assembled, pfpl::compress(field, p));
+}
+
+// ---------------------------------------------------------------------------
+// PFPA archive
+// ---------------------------------------------------------------------------
+
+class ArchiveTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path = tmp_path("archive.pfpa");
+    f32 = wave_f32(20000, 11);
+    f64 = wave_f64(9000, 12);
+    jobs = {
+        {"temp.f32", Field(f32.data(), f32.size()), {1e-3, EbType::ABS}},
+        {"pres.f64", Field(f64.data(), f64.size()), {1e-2, EbType::REL}},
+    };
+    svc::BatchCompressor batch({.threads = 2});
+    results = batch.run(jobs);
+    svc::ArchiveWriter writer(path);
+    for (const auto& r : results) writer.add(r.name, r.header, r.stream, r.raw_bytes);
+    writer.finish();
+  }
+  void TearDown() override { fs::remove(path); }
+
+  std::string path;
+  std::vector<float> f32;
+  std::vector<double> f64;
+  std::vector<svc::Job> jobs;
+  std::vector<svc::JobResult> results;
+};
+
+TEST_F(ArchiveTest, RoundTrip) {
+  svc::ArchiveReader reader(path);
+  ASSERT_EQ(reader.entries().size(), 2u);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const svc::ArchiveEntry& e = reader.entries()[i];
+    EXPECT_EQ(e.name, results[i].name);
+    EXPECT_EQ(e.raw_size, results[i].raw_bytes);
+    Bytes stream = reader.read_entry(e);
+    EXPECT_EQ(stream, results[i].stream);  // entry bytes survive the container
+  }
+  auto back = pfpl::decompress_as<float>(reader.read_entry("temp.f32"));
+  ASSERT_EQ(back.size(), f32.size());
+  for (std::size_t i = 0; i < f32.size(); ++i)
+    ASSERT_LE(std::abs(static_cast<double>(f32[i]) - back[i]), 1e-3) << i;
+}
+
+TEST_F(ArchiveTest, RandomAccessReadsOnlyTheEntryRange) {
+  svc::ArchiveReader reader(path);
+  const svc::ArchiveEntry& e = reader.find("pres.f64");
+  // The reader's contract is range-reads only; emulate it directly to prove
+  // the entry is self-contained: bytes [offset, offset+size) alone decode.
+  Bytes stream = io::read_file_range(path, e.offset, static_cast<std::size_t>(e.size));
+  EXPECT_EQ(svc::crc32(stream.data(), stream.size()), e.crc32);
+  auto back = pfpl::decompress_as<double>(stream);
+  ASSERT_EQ(back.size(), f64.size());
+  pfpl::Header h = pfpl::peek_header(stream);
+  EXPECT_EQ(h.eb_type, EbType::REL);
+}
+
+TEST_F(ArchiveTest, FindMissingEntryThrows) {
+  svc::ArchiveReader reader(path);
+  EXPECT_THROW(reader.find("nonexistent"), CompressionError);
+}
+
+TEST_F(ArchiveTest, CorruptedIndexIsRejected) {
+  // Flip one byte inside the index region: the index CRC must catch it.
+  Bytes raw = io::read_file(path);
+  u64 index_offset, index_size;
+  std::memcpy(&index_offset, raw.data() + raw.size() - svc::kArchiveFooterSize, 8);
+  std::memcpy(&index_size, raw.data() + raw.size() - svc::kArchiveFooterSize + 8, 8);
+  ASSERT_GT(index_size, 0u);
+  raw[static_cast<std::size_t>(index_offset) + 3] ^= 0x5A;
+  io::write_file(path, raw.data(), raw.size());
+  EXPECT_THROW(svc::ArchiveReader reader(path), CompressionError);
+}
+
+TEST_F(ArchiveTest, CorruptedEntryPayloadIsRejected) {
+  svc::ArchiveReader clean(path);
+  const svc::ArchiveEntry e = clean.find("temp.f32");
+  Bytes raw = io::read_file(path);
+  raw[static_cast<std::size_t>(e.offset) + e.size / 2] ^= 0xFF;
+  io::write_file(path, raw.data(), raw.size());
+  svc::ArchiveReader reader(path);  // index is intact: open succeeds
+  EXPECT_THROW(reader.read_entry("temp.f32"), CompressionError);
+  // The other entry is untouched and still extractable (fault isolation).
+  EXPECT_NO_THROW(reader.read_entry("pres.f64"));
+}
+
+TEST_F(ArchiveTest, TruncatedFileIsRejected) {
+  Bytes raw = io::read_file(path);
+  io::write_file(path, raw.data(), raw.size() / 2);
+  EXPECT_THROW(svc::ArchiveReader reader(path), CompressionError);
+  io::write_file(path, raw.data(), 4);  // shorter than header+footer
+  EXPECT_THROW(svc::ArchiveReader reader(path), CompressionError);
+}
+
+TEST_F(ArchiveTest, BadFooterMagicIsRejected) {
+  Bytes raw = io::read_file(path);
+  raw[raw.size() - 1] ^= 0x01;  // footer magic is the last field
+  io::write_file(path, raw.data(), raw.size());
+  EXPECT_THROW(svc::ArchiveReader reader(path), CompressionError);
+}
+
+TEST(Archive, WriterRejectsBadNames) {
+  std::string path = tmp_path("badnames.pfpa");
+  auto v = wave_f32(100, 13);
+  Bytes stream = pfpl::compress(Field(v.data(), v.size()), {1e-3, EbType::ABS});
+  pfpl::Header h = pfpl::peek_header(stream);
+  svc::ArchiveWriter writer(path);
+  EXPECT_THROW(writer.add("", h, stream, 400), CompressionError);
+  EXPECT_THROW(writer.add("a/b", h, stream, 400), CompressionError);
+  writer.add("ok", h, stream, 400);
+  EXPECT_THROW(writer.add("ok", h, stream, 400), CompressionError);  // duplicate
+  writer.finish();
+  fs::remove(path);
+}
+
+TEST(Archive, EmptyArchiveRoundTrips) {
+  std::string path = tmp_path("empty.pfpa");
+  svc::ArchiveWriter writer(path);
+  writer.finish();
+  svc::ArchiveReader reader(path);
+  EXPECT_TRUE(reader.entries().empty());
+  fs::remove(path);
+}
+
+TEST(Checksum, Crc32KnownVector) {
+  // CRC-32("123456789") = 0xCBF43926 (IEEE 802.3 check value).
+  EXPECT_EQ(svc::crc32("123456789", 9), 0xCBF43926u);
+  // Incremental == one-shot.
+  u32 a = svc::crc32("12345", 5);
+  EXPECT_EQ(svc::crc32("6789", 4, a), 0xCBF43926u);
+}
