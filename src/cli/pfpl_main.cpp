@@ -75,10 +75,26 @@ Flags parse_flags(int argc, char** argv, int first, std::vector<std::string>* po
     };
     if (a == "--dtype") {
       std::string v = need("--dtype");
-      fl.dtype = v == "f64" ? DType::F64 : DType::F32;
+      if (v == "f32") {
+        fl.dtype = DType::F32;
+      } else if (v == "f64") {
+        fl.dtype = DType::F64;
+      } else {
+        std::fprintf(stderr, "unknown --dtype '%s' (expected f32|f64)\n", v.c_str());
+        usage();
+      }
     } else if (a == "--eb") {
       std::string v = need("--eb");
-      fl.params.eb = v == "rel" ? EbType::REL : (v == "noa" ? EbType::NOA : EbType::ABS);
+      if (v == "abs") {
+        fl.params.eb = EbType::ABS;
+      } else if (v == "rel") {
+        fl.params.eb = EbType::REL;
+      } else if (v == "noa") {
+        fl.params.eb = EbType::NOA;
+      } else {
+        std::fprintf(stderr, "unknown --eb '%s' (expected abs|rel|noa)\n", v.c_str());
+        usage();
+      }
     } else if (a == "--eps") {
       std::string v = need("--eps");
       try {
@@ -117,14 +133,26 @@ Field make_field(const std::vector<u8>& raw, DType dtype) {
 int cmd_pack(const std::vector<std::string>& positional, const Flags& fl) {
   if (positional.size() < 2) usage();
   const std::string& out_path = positional[0];
-  // Load every input and name its entry after the file's basename.
+  // Entries are named after input basenames; reject collisions up front,
+  // before any compression work, so a clash cannot leave a partial archive
+  // on disk (ArchiveWriter::add would throw mid-write otherwise).
+  std::vector<std::string> names;
+  names.reserve(positional.size() - 1);
+  for (std::size_t i = 1; i < positional.size(); ++i) {
+    std::string name = std::filesystem::path(positional[i]).filename().string();
+    for (std::size_t j = 0; j < names.size(); ++j)
+      if (names[j] == name)
+        throw CompressionError("pack: inputs '" + positional[j + 1] + "' and '" +
+                               positional[i] + "' both map to entry name '" + name +
+                               "'; basenames must be unique");
+    names.push_back(std::move(name));
+  }
   std::vector<std::vector<u8>> raws;
   std::vector<svc::Job> jobs;
   raws.reserve(positional.size() - 1);
   for (std::size_t i = 1; i < positional.size(); ++i) {
     raws.push_back(io::read_file(positional[i]));
-    jobs.push_back({std::filesystem::path(positional[i]).filename().string(),
-                    make_field(raws.back(), fl.dtype), fl.params});
+    jobs.push_back({names[i - 1], make_field(raws.back(), fl.dtype), fl.params});
   }
   svc::BatchCompressor batch({.threads = fl.threads});
   std::vector<svc::JobResult> results = batch.run(jobs);

@@ -13,6 +13,15 @@ std::string errno_text() {
   return errno ? std::strerror(errno) : "unknown error";
 }
 
+// Shared by writer and reader: entry names are plain file names, never paths.
+// The reader MUST enforce this too — archives are untrusted input, and a
+// crafted name like "../../x" or "/etc/y" would otherwise escape the output
+// directory when unpack joins it onto a destination path.
+bool valid_entry_name(const std::string& name) {
+  return !name.empty() && name != "." && name != ".." &&
+         name.find('/') == std::string::npos && name.find('\\') == std::string::npos;
+}
+
 // ---------------------------------------------------------------------------
 // Little-endian (de)serialization of the index. Records are variable-length
 // (name), so the index is parsed with an explicit bounds-checked cursor —
@@ -73,6 +82,9 @@ std::vector<ArchiveEntry> parse_index(const Bytes& raw, u32 entry_count, u64 fil
     ArchiveEntry e;
     u16 name_len = cur.take<u16>();
     e.name = cur.take_string(name_len);
+    if (!valid_entry_name(e.name))
+      throw CompressionError("PFPA: corrupted index (unsafe entry name '" + e.name +
+                             "' in entry " + std::to_string(i) + ")");
     u8 dtype = cur.take<u8>();
     u8 eb = cur.take<u8>();
     if (dtype > 1 || eb > 2)
@@ -127,8 +139,7 @@ void ArchiveWriter::write_raw(const void* data, std::size_t n) {
 void ArchiveWriter::add(const std::string& name, const pfpl::Header& header,
                         const Bytes& stream, u64 raw_size) {
   if (!f_ || finished_) throw CompressionError("PFPA: add() after finish()");
-  if (name.empty() || name.size() > 0xFFFF ||
-      name.find('/') != std::string::npos || name.find('\\') != std::string::npos)
+  if (name.size() > 0xFFFF || !valid_entry_name(name))
     throw CompressionError("PFPA: invalid entry name '" + name + "'");
   for (const ArchiveEntry& e : entries_)
     if (e.name == name) throw CompressionError("PFPA: duplicate entry name '" + name + "'");

@@ -84,7 +84,9 @@ class ArchiveWriter {
 class ArchiveReader {
  public:
   /// Throws CompressionError on a missing file, bad magic, truncated or
-  /// corrupted index (index CRC mismatch, out-of-bounds records).
+  /// corrupted index (index CRC mismatch, out-of-bounds records, or unsafe
+  /// entry names — empty, '.', '..', or containing a path separator — so
+  /// untrusted archives cannot direct unpack outside its output directory).
   explicit ArchiveReader(const std::string& path);
 
   const std::vector<ArchiveEntry>& entries() const { return entries_; }

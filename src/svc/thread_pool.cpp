@@ -18,20 +18,24 @@ ThreadPool::ThreadPool(unsigned threads, std::size_t queue_capacity)
 ThreadPool::~ThreadPool() { shutdown(); }
 
 void ThreadPool::enqueue(Task t) {
-  unsigned target;
+  std::unique_lock<std::mutex> lk(state_m_);
+  space_cv_.wait(lk, [&] { return stopping_ || pending_ < capacity_; });
+  if (stopping_) throw CompressionError("svc::ThreadPool: submit after shutdown");
+  const unsigned target = static_cast<unsigned>(next_worker_++ % workers_.size());
   {
-    std::unique_lock<std::mutex> lk(state_m_);
-    space_cv_.wait(lk, [&] { return stopping_ || pending_ < capacity_; });
-    if (stopping_) throw CompressionError("svc::ThreadPool: submit after shutdown");
-    ++pending_;
-    ++counters_.submitted;
-    counters_.peak_pending = std::max<u64>(counters_.peak_pending, pending_);
-    target = static_cast<unsigned>(next_worker_++ % workers_.size());
-  }
-  {
-    std::lock_guard<std::mutex> lk(workers_[target]->m);
+    // Push BEFORE pending_ is bumped (both under state_m_, so the two are
+    // ordered for anyone holding the lock): a worker whose wait predicate
+    // observes pending_ > 0 is then guaranteed to find a task in some deque
+    // instead of busy-spinning through empty scans until the push lands.
+    // Lock order state_m_ -> worker.m is safe: workers take the two locks
+    // only one at a time, never nested.
+    std::lock_guard<std::mutex> dlk(workers_[target]->m);
     workers_[target]->q.push_back(std::move(t));
   }
+  ++pending_;
+  ++counters_.submitted;
+  counters_.peak_pending = std::max<u64>(counters_.peak_pending, pending_);
+  lk.unlock();
   work_cv_.notify_one();
 }
 

@@ -169,6 +169,35 @@ TEST_F(CliTest, CorruptInputExitsOneNotCrash) {
   EXPECT_EQ(WEXITSTATUS(status), 1);
 }
 
+TEST_F(CliTest, UnknownFlagValuesAreRejected) {
+  // Regression: a typo like '--dtype f62' used to fall back silently to f32
+  // (and bad --eb to abs), misinterpreting the input. Must now exit 2.
+  int status = run(cli + " c " + in + " " + comp + " --dtype f62 --eps 1e-3");
+  ASSERT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 2);
+  EXPECT_FALSE(fs::exists(comp));
+  status = run(cli + " c " + in + " " + comp + " --eb bas --eps 1e-3");
+  ASSERT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 2);
+  EXPECT_FALSE(fs::exists(comp));
+}
+
+TEST_F(CliTest, PackDuplicateBasenamesFailFast) {
+  // Two inputs with the same basename in different directories collide on
+  // the entry name. pack must reject this before compressing anything and
+  // must not leave a partial archive behind.
+  fs::path sub = tmp_path("dupdir");
+  fs::create_directories(sub);
+  std::string in2 = (sub / fs::path(in).filename()).string();
+  io::write_file(in2, values.data(), values.size() * 4);
+  std::string pfpa = tmp_path("dup_arch.pfpa");
+  int status = run(cli + " pack " + pfpa + " " + in + " " + in2 + " --eps 1e-3");
+  ASSERT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 1);
+  EXPECT_FALSE(fs::exists(pfpa));
+  fs::remove_all(sub);
+}
+
 TEST_F(CliTest, PackListUnpackRoundTrip) {
   // Second input field so the archive has two entries.
   std::string in2 = tmp_path("cli_in2.raw");

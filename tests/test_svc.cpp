@@ -277,6 +277,28 @@ TEST_F(ArchiveTest, CorruptedIndexIsRejected) {
   EXPECT_THROW(svc::ArchiveReader reader(path), CompressionError);
 }
 
+TEST_F(ArchiveTest, HostileEntryNamesAreRejected) {
+  // A crafted archive whose index smuggles a path-like entry name must be
+  // rejected by the reader even though every CRC and bound checks out —
+  // otherwise unpack would join the name onto the output directory and
+  // write outside it ("../..", absolute paths, backslash separators).
+  const Bytes orig = io::read_file(path);
+  u64 index_offset, index_size;
+  std::memcpy(&index_offset, orig.data() + orig.size() - svc::kArchiveFooterSize, 8);
+  std::memcpy(&index_size, orig.data() + orig.size() - svc::kArchiveFooterSize + 8, 8);
+  // First record starts with u16 name_len, then the 8-byte name "temp.f32";
+  // overwrite it in place (same length) and re-sign the index so only the
+  // name validation — not the CRC — can catch it.
+  for (const char* evil : {"../../ab", "/abs/pth", "dir\\file"}) {
+    Bytes raw = orig;
+    std::memcpy(raw.data() + index_offset + 2, evil, 8);
+    u32 crc = svc::crc32(raw.data() + index_offset, static_cast<std::size_t>(index_size));
+    std::memcpy(raw.data() + raw.size() - svc::kArchiveFooterSize + 20, &crc, 4);
+    io::write_file(path, raw.data(), raw.size());
+    EXPECT_THROW(svc::ArchiveReader reader(path), CompressionError) << evil;
+  }
+}
+
 TEST_F(ArchiveTest, CorruptedEntryPayloadIsRejected) {
   svc::ArchiveReader clean(path);
   const svc::ArchiveEntry e = clean.find("temp.f32");
