@@ -12,18 +12,56 @@
 // speedup vs. 1 thread, steal count, peak queue depth. Scaling tops out at
 // the machine's core count — on fewer cores than workers the extra threads
 // just time-slice.
+// Observability flags:
+//   --trace FILE       write a Chrome trace of the run (enables obs)
+//   --report FILE      write the obs RunReport JSON (enables obs)
+//   --overhead-check   measure the pay-for-what-you-use claim: the 4-thread
+//                      configuration is timed with observability disabled and
+//                      enabled; the delta is printed and the disabled run is
+//                      asserted to have recorded nothing.
 #include <algorithm>
 #include <cstdio>
+#include <cstring>
+#include <string>
 #include <vector>
 
 #include "common/timer.hpp"
 #include "core/pfpl.hpp"
 #include "data/synthetic.hpp"
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
 #include "svc/batch.hpp"
 
 using namespace repro;
 
-int main() {
+namespace {
+
+/// Median batch wall time in ms over `reps` runs.
+double median_batch_ms(svc::BatchCompressor& batch, const std::vector<svc::Job>& jobs,
+                       int reps, std::vector<svc::JobResult>* out) {
+  std::vector<double> times;
+  for (int rep = 0; rep < reps; ++rep) {
+    Timer t;
+    *out = batch.run(jobs);
+    times.push_back(t.seconds() * 1e3);
+  }
+  std::sort(times.begin(), times.end());
+  return times[times.size() / 2];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string trace_path, report_path;
+  bool overhead_check = false;
+  for (int i = 1; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--trace") && i + 1 < argc) trace_path = argv[++i];
+    else if (!std::strcmp(argv[i], "--report") && i + 1 < argc) report_path = argv[++i];
+    else if (!std::strcmp(argv[i], "--overhead-check")) overhead_check = true;
+  }
+  if (!trace_path.empty() || !report_path.empty()) obs::set_enabled(true);
+
   // Laptop-scale mix: every suite, 2 files each, ~256K values per file.
   auto suites = data::generate_all(/*target_values=*/1 << 18, /*max_files=*/2);
   std::vector<svc::Job> jobs;
@@ -49,16 +87,8 @@ int main() {
   for (unsigned threads : {1u, 2u, 4u, 8u}) {
     svc::BatchCompressor batch({.threads = threads});
     // Median-of-3 protocol (scaled down from the paper's 9 for batch size).
-    double best_ms = 0;
     std::vector<svc::JobResult> results;
-    std::vector<double> times;
-    for (int rep = 0; rep < 3; ++rep) {
-      Timer t;
-      results = batch.run(jobs);
-      times.push_back(t.seconds() * 1e3);
-    }
-    std::sort(times.begin(), times.end());
-    best_ms = times[times.size() / 2];
+    double best_ms = median_batch_ms(batch, jobs, 3, &results);
 
     bool identical = results.size() == reference.size();
     for (std::size_t i = 0; identical && i < results.size(); ++i)
@@ -74,6 +104,45 @@ int main() {
                 total_bytes / 1e6 / best_ms, base_ms / best_ms,
                 static_cast<unsigned long long>(st.tasks_stolen),
                 static_cast<unsigned long long>(st.peak_queue_depth));
+  }
+
+  if (overhead_check) {
+    // Pay-for-what-you-use: time the 4-thread batch with observability off,
+    // then on. The disabled run must record nothing; the delta quantifies
+    // the cost of leaving the instrumentation compiled in but switched off
+    // vs. fully active.
+    const bool was_enabled = obs::enabled();
+    std::vector<svc::JobResult> scratch;
+
+    obs::set_enabled(false);
+    obs::TraceRecorder::global().clear();
+    svc::BatchCompressor off_batch({.threads = 4});
+    double off_ms = median_batch_ms(off_batch, jobs, 5, &scratch);
+    if (obs::TraceRecorder::global().event_count() != 0) {
+      std::fprintf(stderr, "FAIL: disabled observability recorded spans\n");
+      return 1;
+    }
+
+    obs::set_enabled(true);
+    svc::BatchCompressor on_batch({.threads = 4});
+    double on_ms = median_batch_ms(on_batch, jobs, 5, &scratch);
+    obs::set_enabled(was_enabled);
+
+    double delta_pct = (on_ms - off_ms) / off_ms * 100.0;
+    std::printf("overhead-check (4 threads): obs-off %.2f ms, obs-on %.2f ms, "
+                "delta %+.2f%%\n", off_ms, on_ms, delta_pct);
+  }
+
+  if (!report_path.empty()) {
+    obs::RunReport& report = obs::RunReport::global();
+    report.set_meta("tool", "bench_svc_throughput");
+    report.set_meta("jobs", std::to_string(jobs.size()));
+    report.write(report_path);
+    std::printf("report: %s\n", report_path.c_str());
+  }
+  if (!trace_path.empty()) {
+    obs::TraceRecorder::global().write_chrome_json(trace_path);
+    std::printf("trace: %s\n", trace_path.c_str());
   }
   return 0;
 }

@@ -3,11 +3,16 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 
 #include "baselines/registry.hpp"
 #include "common/timer.hpp"
 #include "metrics/error_stats.hpp"
+#include "obs/control.hpp"
+#include "obs/json.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
 
 namespace repro::bench {
 namespace {
@@ -22,15 +27,35 @@ struct FileResult {
   bool ok = false;
 };
 
+/// Push per-run wall times (seconds) into the RunReport as milliseconds.
+void report_runs(const std::string& label, const std::vector<double>& secs) {
+  std::vector<double> ms(secs.size());
+  for (std::size_t i = 0; i < secs.size(); ++i) ms[i] = secs[i] * 1e3;
+  obs::RunReport::global().add_run_times(label, ms);
+}
+
 FileResult measure_file(const Compressor& c, const data::SyntheticFile& f, double eps,
                         EbType eb, int runs) {
   FileResult r;
   Field field = f.field();
   try {
+    obs::ScopedSpan span(obs::enabled() ? "bench.measure:" + c.name() : std::string());
+    // Per-run times feed the RunReport's variance series (only captured when
+    // observability is on — an ordinary CSV run allocates nothing extra).
+    std::vector<double> comp_runs, decomp_runs;
+    std::vector<double>* cap = obs::enabled() ? &comp_runs : nullptr;
     Bytes stream;
-    double tc = median_runtime([&] { stream = c.compress(field, eps, eb); }, runs);
+    double tc = median_runtime([&] { stream = c.compress(field, eps, eb); }, runs, cap);
     std::vector<u8> raw;
-    double td = median_runtime([&] { raw = c.decompress(stream); }, runs);
+    double td = median_runtime([&] { raw = c.decompress(stream); }, runs,
+                               cap ? &decomp_runs : nullptr);
+    if (cap) {
+      char eps_buf[32];
+      std::snprintf(eps_buf, sizeof(eps_buf), "%g", eps);
+      const std::string base = c.name() + "/" + f.name + "@" + eps_buf;
+      report_runs(base + "/compress", comp_runs);
+      report_runs(base + "/decompress", decomp_runs);
+    }
     r.ratio = metrics::compression_ratio(field.byte_size(), stream.size());
     r.comp_mbps = throughput_mbps(field.byte_size(), tc);
     r.decomp_mbps = throughput_mbps(field.byte_size(), td);
@@ -58,6 +83,52 @@ FileResult measure_file(const Compressor& c, const data::SyntheticFile& f, doubl
   return r;
 }
 
+/// Rows queued for the --json document, written once at process exit.
+struct JsonSink {
+  std::string path;
+  std::string trace_path;
+  std::vector<FigureRow> rows;
+};
+
+JsonSink& json_sink() {
+  static JsonSink s;
+  return s;
+}
+
+void flush_json_sink() {
+  JsonSink& s = json_sink();
+  if (!s.trace_path.empty()) {
+    try {
+      obs::TraceRecorder::global().write_chrome_json(s.trace_path);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "bench: %s\n", e.what());
+    }
+  }
+  if (s.path.empty()) return;
+  obs::JsonWriter w;
+  w.begin_object();
+  w.key("rows").raw(rows_json(s.rows));
+  w.key("report").raw(obs::RunReport::global().json());
+  w.end_object();
+  std::string doc = w.take();
+  std::FILE* f = std::fopen(s.path.c_str(), "wb");
+  if (!f) {
+    std::fprintf(stderr, "bench: cannot open json output '%s'\n", s.path.c_str());
+    return;
+  }
+  if (std::fwrite(doc.data(), 1, doc.size(), f) != doc.size())
+    std::fprintf(stderr, "bench: short write to '%s'\n", s.path.c_str());
+  std::fclose(f);
+}
+
+void register_sink_flush() {
+  static bool registered = false;
+  if (!registered) {
+    registered = true;
+    std::atexit(flush_json_sink);
+  }
+}
+
 }  // namespace
 
 SweepConfig parse_args(int argc, char** argv, SweepConfig cfg) {
@@ -67,7 +138,17 @@ SweepConfig parse_args(int argc, char** argv, SweepConfig cfg) {
     if (a == "--target") cfg.target_values = std::strtoull(next(), nullptr, 10);
     else if (a == "--files") cfg.max_files = std::atoi(next());
     else if (a == "--runs") cfg.runs = std::atoi(next());
-    else if (a == "--full") {
+    else if (a == "--json") {
+      cfg.json_path = next();
+      set_json_output(cfg.json_path);
+    } else if (a == "--trace") {
+      json_sink().trace_path = next();
+      obs::set_enabled(true);
+      register_sink_flush();
+    } else if (a == "--csv-header") {
+      std::printf("%s\n", csv_header());
+      std::exit(0);
+    } else if (a == "--full") {
       cfg.runs = 9;
       cfg.target_values = 1 << 20;
       cfg.max_files = 4;
@@ -147,16 +228,56 @@ void mark_pareto(std::vector<Row>& rows) {
   }
 }
 
+const char* csv_header() {
+  return "figure,compressor,eb,ratio,comp_MBps,decomp_MBps,psnr_dB,violations,"
+         "pareto_comp,pareto_decomp";
+}
+
 void print_rows(const std::string& figure, const std::vector<Row>& rows) {
-  std::printf("# %s\n", figure.c_str());
-  std::printf(
-      "figure,compressor,eb,ratio,comp_MBps,decomp_MBps,psnr_dB,violations,"
-      "pareto_comp,pareto_decomp\n");
+  // Figure banners go to stderr: stdout stays pure CSV — one header, then
+  // rows — so `bench > out.csv` ingests directly into cut/pandas even when
+  // one binary prints several figures.
+  std::fprintf(stderr, "# %s\n", figure.c_str());
+  static bool header_printed = false;
+  if (!header_printed) {
+    header_printed = true;
+    std::printf("%s\n", csv_header());
+  }
   for (const Row& r : rows)
     std::printf("%s,%s,%g,%.3f,%.2f,%.2f,%.2f,%zu,%d,%d\n", figure.c_str(),
                 r.compressor.c_str(), r.eb, r.ratio, r.comp_mbps, r.decomp_mbps, r.psnr_db,
                 r.violations, r.pareto_compress ? 1 : 0, r.pareto_decompress ? 1 : 0);
-  std::printf("\n");
+  std::fflush(stdout);
+  JsonSink& sink = json_sink();
+  if (!sink.path.empty())
+    for (const Row& r : rows) sink.rows.emplace_back(figure, r);
+}
+
+std::string rows_json(const std::vector<FigureRow>& rows) {
+  obs::JsonWriter w;
+  w.begin_array();
+  for (const auto& [figure, r] : rows) {
+    w.begin_object();
+    w.kv("figure", figure);
+    w.kv("compressor", r.compressor);
+    w.kv("eb", r.eb);
+    w.kv("ratio", r.ratio);
+    w.kv("comp_MBps", r.comp_mbps);
+    w.kv("decomp_MBps", r.decomp_mbps);
+    w.kv("psnr_dB", r.psnr_db);
+    w.kv("violations", static_cast<unsigned long long>(r.violations));
+    w.kv("pareto_comp", r.pareto_compress);
+    w.kv("pareto_decomp", r.pareto_decompress);
+    w.end_object();
+  }
+  w.end_array();
+  return w.take();
+}
+
+void set_json_output(const std::string& path) {
+  json_sink().path = path;
+  obs::set_enabled(true);
+  register_sink_flush();
 }
 
 }  // namespace repro::bench

@@ -26,10 +26,15 @@ struct SweepConfig {
   std::size_t target_values = 1 << 16;        ///< per generated file
   int max_files = 2;                          ///< per suite
   int runs = 3;  ///< medians over this many runs (paper: 9)
+  std::string json_path;  ///< --json FILE: machine-readable rows + RunReport
 };
 
 /// Parse common CLI flags: --target N --files N --runs N --full (paper-scale
-/// protocol: runs=9, larger inputs).
+/// protocol: runs=9, larger inputs), --json FILE (write every row plus the
+/// obs RunReport to FILE at process exit; also enables observability so
+/// per-run times and stage metrics are captured), --csv-header (print the
+/// CSV header line and exit — lets scripts fetch the schema without running
+/// a sweep), --trace FILE (write a Chrome trace of the sweep at exit).
 SweepConfig parse_args(int argc, char** argv, SweepConfig base);
 
 struct Row {
@@ -52,7 +57,25 @@ std::vector<Row> run_sweep(const SweepConfig& cfg);
 /// higher-is-better), mirroring the paper's light-blue Pareto fronts.
 void mark_pareto(std::vector<Row>& rows);
 
-/// Print the rows under a figure banner.
+/// The documented CSV schema (no trailing newline).
+const char* csv_header();
+
+/// Print the rows as CSV on stdout. The header line is emitted exactly once
+/// per process (before the first row), and the figure banner goes to stderr,
+/// so stdout is directly ingestible by cut/pandas across multi-figure
+/// benches. When a --json sink is active the rows are also queued for it.
 void print_rows(const std::string& figure, const std::vector<Row>& rows);
+
+/// One figure's worth of rows in the JSON output.
+using FigureRow = std::pair<std::string, Row>;  // (figure, row)
+
+/// Render rows as a JSON array of objects (one per row, with a "figure"
+/// field) — the same shape `--json` writes under the top-level "rows" key.
+std::string rows_json(const std::vector<FigureRow>& rows);
+
+/// Route subsequent print_rows() calls into a JSON document written to
+/// `path` at process exit ({"rows":[...], "report": <obs RunReport>}).
+/// Enables observability (obs::set_enabled) so the report has content.
+void set_json_output(const std::string& path);
 
 }  // namespace repro::bench

@@ -12,6 +12,13 @@
 //        --eb abs|rel|noa --eps 1e-3 [--threads N] [--exec serial|omp|gpusim]
 //   pfpl unpack <in.pfpa> <outdir> [--entry NAME]
 //   pfpl list <in.pfpa>
+//   pfpl stats <in.pfpa|in.pfpl> [--json]      # machine-readable stats
+//
+// Observability (valid on every verb, parsed before dispatch):
+//   --trace FILE    record spans and write a Chrome trace_event JSON
+//                   (chrome://tracing / Perfetto loadable)
+//   --metrics       print the metrics registry to stderr on exit
+//   --report FILE   write the obs RunReport JSON artifact
 //
 // Exit codes: 0 ok, 1 error (bad/corrupt input, I/O failure), 2 usage,
 // 3 verify found a bound violation.
@@ -24,6 +31,10 @@
 #include "core/pfpl.hpp"
 #include "io/raw_file.hpp"
 #include "metrics/error_stats.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
 #include "svc/archive.hpp"
 #include "svc/batch.hpp"
 
@@ -42,8 +53,60 @@ namespace {
                "  pfpl pack <out.pfpa> <in1.raw> [in2.raw ...] --dtype f32|f64\n"
                "       --eb abs|rel|noa --eps <e> [--threads N] [--exec serial|omp|gpusim]\n"
                "  pfpl unpack <in.pfpa> <outdir> [--entry NAME]\n"
-               "  pfpl list <in.pfpa>\n");
+               "  pfpl list <in.pfpa>\n"
+               "  pfpl stats <in.pfpa|in.pfpl> [--json]\n"
+               "observability (any verb): --trace FILE  --metrics  --report FILE\n");
   std::exit(2);
+}
+
+/// Observability flags, stripped from argv before verb dispatch so every
+/// command accepts them uniformly.
+struct ObsFlags {
+  std::string trace_path;
+  std::string report_path;
+  bool metrics = false;
+  bool any() const { return metrics || !trace_path.empty() || !report_path.empty(); }
+};
+
+ObsFlags strip_obs_flags(int& argc, char** argv) {
+  ObsFlags fl;
+  int w = 1;
+  for (int i = 1; i < argc; ++i) {
+    std::string a = argv[i];
+    if (a == "--trace" || a == "--report") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", a.c_str());
+        usage();
+      }
+      (a == "--trace" ? fl.trace_path : fl.report_path) = argv[++i];
+    } else if (a == "--metrics") {
+      fl.metrics = true;
+    } else {
+      argv[w++] = argv[i];
+    }
+  }
+  argc = w;
+  if (fl.any()) obs::set_enabled(true);
+  return fl;
+}
+
+/// Emit the requested observability artifacts (called on every exit path
+/// that ran a command, including failures — a trace of a failed run is
+/// exactly what you want on the operator's desk).
+void flush_obs(const ObsFlags& fl) {
+  if (!fl.any()) return;
+  try {
+    if (fl.metrics)
+      std::fprintf(stderr, "%s", obs::MetricsRegistry::global().text().c_str());
+    if (!fl.report_path.empty()) {
+      obs::RunReport::global().set_meta("tool", "pfpl");
+      obs::RunReport::global().write(fl.report_path);
+    }
+    if (!fl.trace_path.empty())
+      obs::TraceRecorder::global().write_chrome_json(fl.trace_path);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "pfpl: obs: %s\n", e.what());
+  }
 }
 
 pfpl::Executor parse_exec(const std::string& s) {
@@ -58,6 +121,7 @@ struct Flags {
   pfpl::Params params;
   unsigned threads = 0;
   std::string entry;
+  bool json = false;  ///< `pfpl stats --json`: machine-readable output
 };
 
 /// Parse `--flag value` pairs from argv[first..); non-flag arguments are
@@ -113,6 +177,8 @@ Flags parse_flags(int argc, char** argv, int first, std::vector<std::string>* po
       }
     } else if (a == "--entry") {
       fl.entry = need("--entry");
+    } else if (a == "--json") {
+      fl.json = true;
     } else if (!a.empty() && a[0] == '-') {
       usage();
     } else if (positional) {
@@ -156,6 +222,7 @@ int cmd_pack(const std::vector<std::string>& positional, const Flags& fl) {
   }
   svc::BatchCompressor batch({.threads = fl.threads});
   std::vector<svc::JobResult> results = batch.run(jobs);
+  if (obs::enabled()) obs::RunReport::global().add_section("svc", batch.stats().json());
   int failed = 0;
   svc::ArchiveWriter writer(out_path);
   for (const svc::JobResult& r : results) {
@@ -207,17 +274,94 @@ int cmd_list(const std::vector<std::string>& positional) {
   return 0;
 }
 
-}  // namespace
+int cmd_stats(const std::vector<std::string>& positional, const Flags& fl) {
+  if (positional.size() != 1) usage();
+  const std::string& path = positional[0];
+  // A PFPA archive gets per-entry + aggregate stats; anything that is not an
+  // archive is retried as a single-field .pfpl stream.
+  try {
+    svc::ArchiveReader reader(path);
+    u64 total_raw = 0, total_comp = 0;
+    for (const svc::ArchiveEntry& e : reader.entries()) {
+      total_raw += e.raw_size;
+      total_comp += e.size;
+    }
+    double ratio = total_comp ? static_cast<double>(total_raw) / total_comp : 0.0;
+    if (fl.json) {
+      obs::JsonWriter w;
+      w.begin_object();
+      w.kv("file", path);
+      w.kv("kind", "pfpa");
+      w.key("entries").begin_array();
+      for (const svc::ArchiveEntry& e : reader.entries()) {
+        w.begin_object();
+        w.kv("name", e.name);
+        w.kv("dtype", to_string(e.dtype));
+        w.kv("eb", to_string(e.eb_type));
+        w.kv("eps", e.eps);
+        w.kv("raw_bytes", static_cast<unsigned long long>(e.raw_size));
+        w.kv("compressed_bytes", static_cast<unsigned long long>(e.size));
+        w.kv("ratio", e.size ? static_cast<double>(e.raw_size) / e.size : 0.0);
+        w.end_object();
+      }
+      w.end_array();
+      w.key("totals").begin_object();
+      w.kv("entries", static_cast<unsigned long long>(reader.entries().size()));
+      w.kv("raw_bytes", static_cast<unsigned long long>(total_raw));
+      w.kv("compressed_bytes", static_cast<unsigned long long>(total_comp));
+      w.kv("ratio", ratio);
+      w.end_object();
+      w.end_object();
+      std::printf("%s\n", w.str().c_str());
+    } else {
+      std::printf("%s: pfpa archive, %zu entries, raw=%llu compressed=%llu ratio=%.3f\n",
+                  path.c_str(), reader.entries().size(),
+                  static_cast<unsigned long long>(total_raw),
+                  static_cast<unsigned long long>(total_comp), ratio);
+    }
+    return 0;
+  } catch (const CompressionError&) {
+    // Fall through to the single-stream interpretation.
+  }
+  Bytes in = io::read_file(path);
+  pfpl::Header h = pfpl::peek_header(in);
+  double raw = static_cast<double>(h.value_count) * dtype_size(h.dtype);
+  double ratio = in.size() ? raw / static_cast<double>(in.size()) : 0.0;
+  if (fl.json) {
+    obs::JsonWriter w;
+    w.begin_object();
+    w.kv("file", path);
+    w.kv("kind", "pfpl");
+    w.kv("dtype", to_string(h.dtype));
+    w.kv("eb", to_string(h.eb_type));
+    w.kv("eps", h.eps);
+    w.kv("recon_param", h.recon_param);
+    w.kv("values", static_cast<unsigned long long>(h.value_count));
+    w.kv("chunks", static_cast<unsigned long long>(h.chunk_count));
+    w.kv("compressed_bytes", static_cast<unsigned long long>(in.size()));
+    w.kv("ratio", ratio);
+    w.end_object();
+    std::printf("%s\n", w.str().c_str());
+  } else {
+    std::printf("%s: pfpl stream, dtype=%s eb=%s eps=%g values=%llu chunks=%u "
+                "compressed=%zu ratio=%.3f\n",
+                path.c_str(), to_string(h.dtype), to_string(h.eb_type), h.eps,
+                static_cast<unsigned long long>(h.value_count), h.chunk_count, in.size(),
+                ratio);
+  }
+  return 0;
+}
 
-int main(int argc, char** argv) {
+int run_command(int argc, char** argv) {
   if (argc < 3) usage();
   std::string mode = argv[1];
   try {
-    if (mode == "pack" || mode == "unpack" || mode == "list") {
+    if (mode == "pack" || mode == "unpack" || mode == "list" || mode == "stats") {
       std::vector<std::string> positional;
       Flags fl = parse_flags(argc, argv, 2, &positional);
       if (mode == "pack") return cmd_pack(positional, fl);
       if (mode == "unpack") return cmd_unpack(positional, fl);
+      if (mode == "stats") return cmd_stats(positional, fl);
       return cmd_list(positional);
     }
     if (mode == "info") {
@@ -289,4 +433,13 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "pfpl: %s\n", e.what());
     return 1;
   }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ObsFlags obs_fl = strip_obs_flags(argc, argv);
+  int rc = run_command(argc, argv);
+  flush_obs(obs_fl);
+  return rc;
 }

@@ -12,11 +12,34 @@
 #include "core/pipeline.hpp"
 #include "core/quantizers.hpp"
 #include "fpmath/det_math.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/gpu_pipeline.hpp"
 #include "sim/lookback.hpp"
 
 namespace repro::pfpl {
 namespace {
+
+/// Hot-path metric handles, resolved once (registry lookups take a lock;
+/// the add() calls after that are sharded and lock-free — see obs/metrics.hpp).
+struct CoreMetrics {
+  obs::Counter& chunks_encoded;
+  obs::Counter& chunks_raw;
+  obs::Counter& chunks_decoded;
+  obs::Counter& bytes_in;
+  obs::Counter& bytes_out;
+  obs::Histogram& encode_chunk_us;
+  static CoreMetrics& get() {
+    auto& r = obs::MetricsRegistry::global();
+    static CoreMetrics m{r.counter("core.chunks_encoded"),
+                         r.counter("core.chunks_raw"),
+                         r.counter("core.chunks_decoded"),
+                         r.counter("core.bytes_in"),
+                         r.counter("core.bytes_out"),
+                         r.histogram("core.encode_chunk_us")};
+    return m;
+  }
+};
 
 /// Min/max reduction over the finite values of the input (NOA needs the value
 /// range, Section III-A; the reduction result is stored in the header so the
@@ -47,13 +70,26 @@ double finite_range(const T* d, std::size_t n) {
 template <typename T, typename Q>
 u32 encode_one_chunk(const T* data, std::size_t beg, std::size_t k, const Q& q,
                      Executor exec, std::vector<u8>& payload) {
+  OBS_SPAN("pfpl.encode_chunk");
+  const u64 t0 = obs::enabled() ? obs::TraceRecorder::global().now_ns() : 0;
   using Bits = typename fpmath::FloatTraits<T>::Bits;
   std::vector<Bits> words(k);
-  for (std::size_t i = 0; i < k; ++i) words[i] = q.encode(data[beg + i]);
+  {
+    OBS_SPAN("pfpl.quantize");
+    for (std::size_t i = 0; i < k; ++i) words[i] = q.encode(data[beg + i]);
+  }
   bool compressed = exec == Executor::GpuSim
                         ? sim::gpu_chunk_encode(words.data(), k, payload)
                         : chunk_encode(words.data(), k, payload);
   u32 sz = static_cast<u32>(payload.size());
+  if (obs::enabled()) {
+    CoreMetrics& m = CoreMetrics::get();
+    m.chunks_encoded.add(1);
+    if (!compressed) m.chunks_raw.add(1);
+    m.bytes_in.add(k * sizeof(T));
+    m.bytes_out.add(sz);
+    m.encode_chunk_us.record((obs::TraceRecorder::global().now_ns() - t0) / 1000);
+  }
   return compressed ? sz : (sz | kRawChunkFlag);
 }
 
@@ -102,6 +138,7 @@ std::vector<u8> decompress_typed(const Bytes& in, const Header& h, const Q& q,
   T* values = reinterpret_cast<T*>(out.data());
 
   auto do_chunk = [&](std::size_t c) {
+    OBS_SPAN("pfpl.decode_chunk");
     std::size_t beg = c * cw;
     std::size_t k = std::min(cw, n - beg);
     std::size_t off = payload_off + offsets[c];
@@ -114,6 +151,7 @@ std::vector<u8> decompress_typed(const Bytes& in, const Header& h, const Q& q,
     else
       chunk_decode(in.data() + off, csize, compressed, words.data(), k);
     for (std::size_t i = 0; i < k; ++i) values[beg + i] = q.decode(words[i]);
+    CoreMetrics::get().chunks_decoded.add(1);
   };
 
   if (exec == Executor::OpenMP) {
@@ -188,6 +226,7 @@ std::size_t chunk_values(DType dtype) {
 }
 
 Header plan_header(const Field& in, const Params& p) {
+  OBS_SPAN("pfpl.plan");
   Header h;
   h.dtype = in.dtype;
   h.eb_type = p.eb;
@@ -212,6 +251,7 @@ u32 encode_chunk(const Field& in, const Header& h, std::size_t c, Executor exec,
 
 Bytes assemble_stream(const Header& h, const std::vector<u32>& sizes,
                       const std::vector<Bytes>& payloads, Executor exec) {
+  OBS_SPAN("pfpl.assemble");
   const std::size_t nchunks = h.chunk_count;
   // Concatenate. The GPU path computes the chunk offsets with the simulated
   // decoupled look-back scan (Section III-E); the result is the same
@@ -240,6 +280,7 @@ Bytes assemble_stream(const Header& h, const std::vector<u32>& sizes,
 }
 
 Bytes compress(const Field& in, const Params& p) {
+  OBS_SPAN("pfpl.compress");
   Header h = plan_header(in, p);
   const std::size_t nchunks = h.chunk_count;
   std::vector<Bytes> payloads(nchunks);
@@ -260,6 +301,7 @@ Bytes compress(const Field& in, const Params& p) {
 }
 
 std::vector<u8> decompress(const Bytes& stream, Executor exec) {
+  OBS_SPAN("pfpl.decompress");
   Header h = read_header(stream);
   if (h.dtype == DType::F32) return decompress_dispatch_eb<float>(stream, h, exec);
   return decompress_dispatch_eb<double>(stream, h, exec);

@@ -17,6 +17,7 @@
 #include "bits/delta.hpp"
 #include "bits/zerobyte.hpp"
 #include "common/types.hpp"
+#include "obs/trace.hpp"
 
 namespace repro::pfpl {
 
@@ -49,10 +50,19 @@ bool chunk_encode(const U* words, std::size_t k, std::vector<u8>& out) {
   const std::size_t padded = padded_words<U>(k);
   std::vector<U> buf(padded, U{0});
   std::memcpy(buf.data(), words, k * sizeof(U));
-  bits::delta_negabinary_encode(buf.data(), padded);
-  bits::bitshuffle(buf.data(), padded);
+  {
+    OBS_SPAN("pfpl.delta_nb");
+    bits::delta_negabinary_encode(buf.data(), padded);
+  }
+  {
+    OBS_SPAN("pfpl.bitshuffle");
+    bits::bitshuffle(buf.data(), padded);
+  }
   const std::size_t start = out.size();
-  bits::zerobyte_encode(reinterpret_cast<const u8*>(buf.data()), padded * sizeof(U), out);
+  {
+    OBS_SPAN("pfpl.zerobyte");
+    bits::zerobyte_encode(reinterpret_cast<const u8*>(buf.data()), padded * sizeof(U), out);
+  }
   if (out.size() - start >= k * sizeof(U)) {
     // Incompressible: replace with the raw words.
     out.resize(start);

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/timer.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace repro::lc {
 
@@ -10,6 +12,9 @@ Candidate evaluate(const Pipeline& p, const std::vector<std::vector<u8>>& chunks
   Candidate c;
   c.pipeline = p;
   c.name = p.name();
+  // One span per component combination: a trace of the search shows exactly
+  // which stage sequences the enumeration spent its time on.
+  obs::ScopedSpan span(obs::enabled() ? "lc.evaluate:" + c.name : std::string());
   std::size_t in_bytes = 0, out_bytes = 0;
   Timer t;
   std::vector<std::vector<u8>> encoded;
@@ -22,6 +27,13 @@ Candidate evaluate(const Pipeline& p, const std::vector<std::vector<u8>>& chunks
   double secs = t.seconds();
   c.ratio = out_bytes ? static_cast<double>(in_bytes) / static_cast<double>(out_bytes) : 0;
   c.enc_mbps = throughput_mbps(in_bytes, secs);
+  {
+    auto& reg = obs::MetricsRegistry::global();
+    static obs::Counter& evaluated = reg.counter("lc.candidates_evaluated");
+    static obs::Histogram& encode_us = reg.histogram("lc.candidate_encode_us");
+    evaluated.add(1);
+    encode_us.record(static_cast<u64>(secs * 1e6));
+  }
   c.roundtrip = true;
   try {
     for (std::size_t i = 0; i < chunks.size(); ++i) {
@@ -39,6 +51,7 @@ Candidate evaluate(const Pipeline& p, const std::vector<std::vector<u8>>& chunks
 
 std::vector<Candidate> search(const std::vector<std::vector<u8>>& chunks,
                               const SearchConfig& cfg) {
+  OBS_SPAN("lc.search");
   std::vector<StagePtr> lib = component_library(cfg.word_bits);
   std::vector<Candidate> results;
 

@@ -1,0 +1,171 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "obs/json.hpp"
+
+namespace repro::obs {
+
+Histogram::Histogram(std::vector<u64> bounds) : bounds_(std::move(bounds)) {
+  for (std::size_t i = 1; i < bounds_.size(); ++i)
+    if (bounds_[i] <= bounds_[i - 1])
+      throw std::invalid_argument("obs::Histogram: bounds must be strictly increasing");
+  for (auto& s : shards_) {
+    // std::atomic is not movable, so size the bucket vector in place.
+    std::vector<std::atomic<u64>> b(bounds_.size() + 1);
+    s.buckets.swap(b);
+  }
+}
+
+std::vector<u64> Histogram::default_latency_bounds_us() {
+  // 1us, 4us, 16us, ... ~16.8s: 13 exponential buckets cover everything from
+  // a single chunk encode to a full batch run.
+  std::vector<u64> b;
+  for (u64 v = 1; v <= (u64{1} << 24); v <<= 2) b.push_back(v);
+  return b;
+}
+
+std::vector<u64> Histogram::bucket_counts() const {
+  std::vector<u64> out(bounds_.size() + 1, 0);
+  for (const auto& s : shards_)
+    for (std::size_t i = 0; i < out.size(); ++i)
+      out[i] += s.buckets[i].load(std::memory_order_relaxed);
+  return out;
+}
+
+u64 Histogram::count() const {
+  u64 t = 0;
+  for (const auto& s : shards_) t += s.count.load(std::memory_order_relaxed);
+  return t;
+}
+
+u64 Histogram::sum() const {
+  u64 t = 0;
+  for (const auto& s : shards_) t += s.sum.load(std::memory_order_relaxed);
+  return t;
+}
+
+u64 Histogram::min() const {
+  u64 t = UINT64_MAX;
+  for (const auto& s : shards_) t = std::min(t, s.min.load(std::memory_order_relaxed));
+  return t;
+}
+
+u64 Histogram::max() const {
+  u64 t = 0;
+  for (const auto& s : shards_) t = std::max(t, s.max.load(std::memory_order_relaxed));
+  return t;
+}
+
+void Histogram::reset() {
+  for (auto& s : shards_) {
+    for (auto& b : s.buckets) b.store(0, std::memory_order_relaxed);
+    s.sum.store(0, std::memory_order_relaxed);
+    s.count.store(0, std::memory_order_relaxed);
+    s.min.store(UINT64_MAX, std::memory_order_relaxed);
+    s.max.store(0, std::memory_order_relaxed);
+  }
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry* r = new MetricsRegistry();  // leaked: outlives all users
+  return *r;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lk(m_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lk(m_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name, std::vector<u64> bounds) {
+  std::lock_guard<std::mutex> lk(m_);
+  auto& slot = histograms_[name];
+  if (!slot) {
+    if (bounds.empty()) bounds = Histogram::default_latency_bounds_us();
+    slot = std::make_unique<Histogram>(std::move(bounds));
+  }
+  return *slot;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lk(m_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+std::size_t MetricsRegistry::size() const {
+  std::lock_guard<std::mutex> lk(m_);
+  return counters_.size() + gauges_.size() + histograms_.size();
+}
+
+std::string MetricsRegistry::text() const {
+  std::lock_guard<std::mutex> lk(m_);
+  std::string out;
+  for (const auto& [name, c] : counters_)
+    out += name + " counter " + std::to_string(c->value()) + "\n";
+  for (const auto& [name, g] : gauges_)
+    out += name + " gauge " + std::to_string(g->value()) + " peak=" +
+           std::to_string(g->peak()) + "\n";
+  for (const auto& [name, h] : histograms_) {
+    u64 c = h->count();
+    out += name + " histogram count=" + std::to_string(c) + " sum=" +
+           std::to_string(h->sum());
+    if (c)
+      out += " min=" + std::to_string(h->min()) + " max=" + std::to_string(h->max()) +
+             " mean=" + std::to_string(h->mean());
+    out += "\n";
+  }
+  return out;
+}
+
+std::string MetricsRegistry::json() const {
+  std::lock_guard<std::mutex> lk(m_);
+  JsonWriter w;
+  w.begin_object();
+  w.key("counters").begin_object();
+  for (const auto& [name, c] : counters_)
+    w.kv(name, static_cast<unsigned long long>(c->value()));
+  w.end_object();
+  w.key("gauges").begin_object();
+  for (const auto& [name, g] : gauges_) {
+    w.key(name).begin_object();
+    w.kv("value", static_cast<long long>(g->value()));
+    w.kv("peak", static_cast<long long>(g->peak()));
+    w.end_object();
+  }
+  w.end_object();
+  w.key("histograms").begin_object();
+  for (const auto& [name, h] : histograms_) {
+    w.key(name).begin_object();
+    w.kv("count", static_cast<unsigned long long>(h->count()));
+    w.kv("sum", static_cast<unsigned long long>(h->sum()));
+    if (h->count()) {
+      w.kv("min", static_cast<unsigned long long>(h->min()));
+      w.kv("max", static_cast<unsigned long long>(h->max()));
+      w.kv("mean", h->mean());
+    }
+    w.key("bounds").begin_array();
+    for (u64 b : h->bounds()) w.value(static_cast<unsigned long long>(b));
+    w.end_array();
+    w.key("buckets").begin_array();
+    for (u64 b : h->bucket_counts()) w.value(static_cast<unsigned long long>(b));
+    w.end_array();
+    w.end_object();
+  }
+  w.end_object();
+  w.end_object();
+  return w.take();
+}
+
+}  // namespace repro::obs

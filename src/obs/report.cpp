@@ -1,0 +1,99 @@
+#include "obs/report.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+#include "common/types.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace repro::obs {
+
+RunReport& RunReport::global() {
+  static RunReport* r = new RunReport();  // leaked: outlives all users
+  return *r;
+}
+
+void RunReport::set_meta(const std::string& key, const std::string& value) {
+  std::lock_guard<std::mutex> lk(m_);
+  meta_[key] = value;
+}
+
+void RunReport::add_section(const std::string& name, const std::string& json_fragment) {
+  std::lock_guard<std::mutex> lk(m_);
+  sections_[name] = json_fragment;
+}
+
+void RunReport::add_run_times(const std::string& label, const std::vector<double>& ms) {
+  std::lock_guard<std::mutex> lk(m_);
+  auto& v = run_times_ms_[label];
+  v.insert(v.end(), ms.begin(), ms.end());
+}
+
+std::string RunReport::json() const {
+  // Aggregate spans per name: the report wants stage attribution (how much
+  // total time went to quantize vs. shuffle vs. assemble), not the raw
+  // per-chunk event list — that is what the trace file is for.
+  struct Agg {
+    u64 count = 0, total_ns = 0, min_ns = UINT64_MAX, max_ns = 0;
+  };
+  std::map<std::string, Agg> spans;
+  for (const SpanEvent& e : TraceRecorder::global().events()) {
+    Agg& a = spans[e.name];
+    ++a.count;
+    a.total_ns += e.dur_ns;
+    a.min_ns = std::min(a.min_ns, e.dur_ns);
+    a.max_ns = std::max(a.max_ns, e.dur_ns);
+  }
+
+  std::lock_guard<std::mutex> lk(m_);
+  JsonWriter w;
+  w.begin_object();
+  w.key("meta").begin_object();
+  for (const auto& [k, v] : meta_) w.kv(k, v);
+  w.end_object();
+  w.key("metrics").raw(MetricsRegistry::global().json());
+  w.key("spans").begin_object();
+  for (const auto& [name, a] : spans) {
+    w.key(name).begin_object();
+    w.kv("count", static_cast<unsigned long long>(a.count));
+    w.kv("total_ms", a.total_ns / 1e6);
+    w.kv("min_ms", a.min_ns / 1e6);
+    w.kv("max_ms", a.max_ns / 1e6);
+    w.end_object();
+  }
+  w.end_object();
+  w.key("run_times_ms").begin_object();
+  for (const auto& [label, times] : run_times_ms_) {
+    w.key(label).begin_array();
+    for (double t : times) w.value(t);
+    w.end_array();
+  }
+  w.end_object();
+  w.key("sections").begin_object();
+  for (const auto& [name, frag] : sections_) w.key(name).raw(frag);
+  w.end_object();
+  w.end_object();
+  return w.take();
+}
+
+void RunReport::write(const std::string& path) const {
+  std::string doc = json();
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (!f) throw CompressionError("obs: cannot open report file '" + path + "'");
+  std::size_t wrote = std::fwrite(doc.data(), 1, doc.size(), f);
+  int rc = std::fclose(f);
+  if (wrote != doc.size() || rc != 0)
+    throw CompressionError("obs: short write to report file '" + path + "'");
+}
+
+void RunReport::clear() {
+  std::lock_guard<std::mutex> lk(m_);
+  meta_.clear();
+  sections_.clear();
+  run_times_ms_.clear();
+}
+
+}  // namespace repro::obs

@@ -1,0 +1,157 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+#include "obs/json.hpp"
+
+namespace repro::obs {
+
+TraceRecorder& TraceRecorder::global() {
+  static TraceRecorder* r = new TraceRecorder();  // leaked: outlives all users
+  return *r;
+}
+
+TraceRecorder::ThreadBuf& TraceRecorder::thread_buf() {
+  static thread_local ThreadBuf* mine = nullptr;
+  if (!mine) {
+    auto buf = std::make_unique<ThreadBuf>();
+    std::lock_guard<std::mutex> lk(m_);
+    buf->tid = static_cast<u32>(bufs_.size());
+    mine = buf.get();
+    bufs_.push_back(std::move(buf));
+  }
+  return *mine;
+}
+
+void TraceRecorder::clear() {
+  std::lock_guard<std::mutex> lk(m_);
+  for (auto& b : bufs_) {
+    std::lock_guard<std::mutex> blk(b->m);
+    b->events.clear();
+  }
+  epoch_ = std::chrono::steady_clock::now();
+}
+
+std::vector<SpanEvent> TraceRecorder::events() const {
+  std::lock_guard<std::mutex> lk(m_);
+  std::vector<SpanEvent> out;
+  for (const auto& b : bufs_) {
+    std::lock_guard<std::mutex> blk(b->m);
+    out.insert(out.end(), b->events.begin(), b->events.end());
+  }
+  return out;
+}
+
+std::size_t TraceRecorder::event_count() const {
+  std::lock_guard<std::mutex> lk(m_);
+  std::size_t n = 0;
+  for (const auto& b : bufs_) {
+    std::lock_guard<std::mutex> blk(b->m);
+    n += b->events.size();
+  }
+  return n;
+}
+
+std::size_t TraceRecorder::thread_count() const {
+  std::lock_guard<std::mutex> lk(m_);
+  std::size_t n = 0;
+  for (const auto& b : bufs_) {
+    std::lock_guard<std::mutex> blk(b->m);
+    if (!b->events.empty()) ++n;
+  }
+  return n;
+}
+
+std::string TraceRecorder::chrome_json() const {
+  std::vector<SpanEvent> evs = events();
+  std::sort(evs.begin(), evs.end(), [](const SpanEvent& a, const SpanEvent& b) {
+    return a.tid != b.tid ? a.tid < b.tid : a.start_ns < b.start_ns;
+  });
+  JsonWriter w;
+  w.begin_object();
+  w.kv("displayTimeUnit", "ms");
+  w.key("traceEvents").begin_array();
+  for (const SpanEvent& e : evs) {
+    w.begin_object();
+    w.kv("name", e.name);
+    w.kv("ph", "X");
+    w.kv("ts", static_cast<double>(e.start_ns) / 1e3);   // trace_event: microseconds
+    w.kv("dur", static_cast<double>(e.dur_ns) / 1e3);
+    w.kv("pid", 1);
+    w.kv("tid", static_cast<unsigned long long>(e.tid));
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.take();
+}
+
+std::string TraceRecorder::text_tree() const {
+  std::vector<SpanEvent> evs = events();
+  std::map<u32, std::vector<SpanEvent>> by_tid;
+  for (SpanEvent& e : evs) by_tid[e.tid].push_back(std::move(e));
+
+  std::string out;
+  char line[256];
+  for (auto& [tid, v] : by_tid) {
+    std::sort(v.begin(), v.end(), [](const SpanEvent& a, const SpanEvent& b) {
+      return a.start_ns != b.start_ns ? a.start_ns < b.start_ns : a.depth < b.depth;
+    });
+    std::snprintf(line, sizeof(line), "tid %u (%zu spans)\n", tid, v.size());
+    out += line;
+    // Collapse runs of same-name siblings (the per-chunk fan-out would
+    // otherwise print thousands of identical lines).
+    for (std::size_t i = 0; i < v.size();) {
+      std::size_t j = i;
+      u64 total = 0, mn = UINT64_MAX, mx = 0;
+      while (j < v.size() && v[j].name == v[i].name && v[j].depth == v[i].depth) {
+        total += v[j].dur_ns;
+        mn = std::min(mn, v[j].dur_ns);
+        mx = std::max(mx, v[j].dur_ns);
+        ++j;
+      }
+      std::string indent(2 * (v[i].depth + 1), ' ');
+      if (j - i == 1) {
+        std::snprintf(line, sizeof(line), "%s%-28s %10.3f ms\n", indent.c_str(),
+                      v[i].name.c_str(), v[i].dur_ns / 1e6);
+      } else {
+        std::snprintf(line, sizeof(line),
+                      "%s%-28s x%-6zu total %10.3f ms  min/max %.3f/%.3f ms\n",
+                      indent.c_str(), v[i].name.c_str(), j - i, total / 1e6, mn / 1e6,
+                      mx / 1e6);
+      }
+      out += line;
+      i = j;
+    }
+  }
+  return out;
+}
+
+void TraceRecorder::write_chrome_json(const std::string& path) const {
+  std::string doc = chrome_json();
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (!f) throw CompressionError("obs: cannot open trace file '" + path + "'");
+  std::size_t wrote = std::fwrite(doc.data(), 1, doc.size(), f);
+  int rc = std::fclose(f);
+  if (wrote != doc.size() || rc != 0)
+    throw CompressionError("obs: short write to trace file '" + path + "'");
+}
+
+void ScopedSpan::begin(const char* name) {
+  TraceRecorder& r = TraceRecorder::global();
+  buf_ = &r.thread_buf();
+  name_ = name;
+  depth_ = buf_->depth++;
+  start_ns_ = r.now_ns();
+}
+
+void ScopedSpan::end() {
+  const u64 dur = TraceRecorder::global().now_ns() - start_ns_;
+  --buf_->depth;
+  std::lock_guard<std::mutex> lk(buf_->m);
+  buf_->events.push_back(SpanEvent{name_, start_ns_, dur, buf_->tid, depth_});
+}
+
+}  // namespace repro::obs

@@ -7,6 +7,8 @@
 
 #include "common/timer.hpp"
 #include "core/chunked.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "svc/thread_pool.hpp"
 
 namespace repro::svc {
@@ -52,6 +54,7 @@ BatchCompressor::~BatchCompressor() = default;
 unsigned BatchCompressor::threads() const { return pool_->worker_count(); }
 
 std::vector<JobResult> BatchCompressor::run(const std::vector<Job>& jobs) {
+  OBS_SPAN("svc.batch_run");
   Timer wall;
   stats_ = SvcStats{};
   stats_.jobs = jobs.size();
@@ -76,6 +79,7 @@ std::vector<JobResult> BatchCompressor::run(const std::vector<Job>& jobs) {
     results[j].raw_bytes = jobs[j].field.byte_size();
     stats_.bytes_in += results[j].raw_bytes;
     try {
+      obs::ScopedSpan span(obs::enabled() ? "svc.plan:" + jobs[j].name : std::string());
       plans[j].header = pfpl::plan_header(jobs[j].field, jobs[j].params);
       plans[j].payloads.resize(plans[j].header.chunk_count);
       plans[j].sizes.assign(plans[j].header.chunk_count, 0);
@@ -97,6 +101,7 @@ std::vector<JobResult> BatchCompressor::run(const std::vector<Job>& jobs) {
   ByteBudget budget(max_inflight_bytes_);
   for (std::size_t j = 0; j < jobs.size(); ++j) {
     if (results[j].failed) continue;
+    obs::ScopedSpan span(obs::enabled() ? "svc.submit:" + jobs[j].name : std::string());
     Plan& plan = plans[j];
     const Field& field = jobs[j].field;
     const pfpl::Executor exec = jobs[j].params.exec;
@@ -141,6 +146,7 @@ std::vector<JobResult> BatchCompressor::run(const std::vector<Job>& jobs) {
   Timer assemble_t;
   for (std::size_t j = 0; j < jobs.size(); ++j) {
     if (results[j].failed) continue;
+    obs::ScopedSpan span(obs::enabled() ? "svc.assemble:" + jobs[j].name : std::string());
     results[j].stream = pfpl::assemble_stream(plans[j].header, plans[j].sizes,
                                               plans[j].payloads, jobs[j].params.exec);
     stats_.bytes_out += results[j].stream.size();
@@ -151,6 +157,7 @@ std::vector<JobResult> BatchCompressor::run(const std::vector<Job>& jobs) {
   stats_.tasks_stolen = after.stolen - before.stolen;
   stats_.peak_queue_depth = after.peak_pending;
   stats_.wall_ms = wall.seconds() * 1e3;
+  stats_.publish(obs::MetricsRegistry::global());
   return results;
 }
 

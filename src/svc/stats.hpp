@@ -4,13 +4,17 @@
 // summary line by the CLI — the shape a scrape-and-alert pipeline wants:
 // counts, bytes, scheduler health (queue depth, steals), and per-stage wall
 // time so a regression in planning vs. encoding vs. assembly is attributable
-// at a glance.
+// at a glance. Beyond the one-liner, every run also publishes into the
+// process-wide obs::MetricsRegistry (cumulative across runs) and can render
+// itself as a JSON fragment for the RunReport.
 #pragma once
 
 #include <cstdio>
 #include <string>
 
 #include "common/types.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
 
 namespace repro::svc {
 
@@ -40,18 +44,63 @@ struct SvcStats {
   /// svc: jobs=8 chunks=1024 in=64.0MB out=12.3MB ratio=5.2 1.8GB/s
   ///      threads=4 stolen=37 depth=512 plan/encode/assemble=0.2/30.1/4.0ms
   std::string summary() const {
+    // Two-step format: materialize the optional " failed=N" part as a named
+    // std::string BEFORE the snprintf call. (A previous version called
+    // .c_str() on the concatenation temporary inside the argument list —
+    // legal only because the temporary lives to the end of the full
+    // expression, and one refactor away from a dangling pointer.)
+    std::string failed_part;
+    if (jobs_failed) failed_part = " failed=" + std::to_string(jobs_failed);
     char buf[320];
     std::snprintf(buf, sizeof(buf),
                   "svc: jobs=%llu%s chunks=%llu in=%.1fMB out=%.1fMB ratio=%.2f "
                   "%.2fGB/s threads=%u stolen=%llu depth=%llu "
                   "plan/encode/assemble=%.1f/%.1f/%.1fms",
-                  static_cast<unsigned long long>(jobs),
-                  jobs_failed ? (" failed=" + std::to_string(jobs_failed)).c_str() : "",
+                  static_cast<unsigned long long>(jobs), failed_part.c_str(),
                   static_cast<unsigned long long>(chunks), bytes_in / 1e6, bytes_out / 1e6,
                   ratio(), gbps(), threads, static_cast<unsigned long long>(tasks_stolen),
                   static_cast<unsigned long long>(peak_queue_depth), plan_ms, encode_ms,
                   assemble_ms);
     return buf;
+  }
+
+  /// JSON object with every field plus the derived ratio/GB/s — the fragment
+  /// the CLI folds into the RunReport's "svc" section.
+  std::string json() const {
+    obs::JsonWriter w;
+    w.begin_object();
+    w.kv("jobs", static_cast<unsigned long long>(jobs));
+    w.kv("jobs_failed", static_cast<unsigned long long>(jobs_failed));
+    w.kv("chunks", static_cast<unsigned long long>(chunks));
+    w.kv("bytes_in", static_cast<unsigned long long>(bytes_in));
+    w.kv("bytes_out", static_cast<unsigned long long>(bytes_out));
+    w.kv("tasks_stolen", static_cast<unsigned long long>(tasks_stolen));
+    w.kv("peak_queue_depth", static_cast<unsigned long long>(peak_queue_depth));
+    w.kv("threads", threads);
+    w.kv("plan_ms", plan_ms);
+    w.kv("encode_ms", encode_ms);
+    w.kv("assemble_ms", assemble_ms);
+    w.kv("wall_ms", wall_ms);
+    w.kv("ratio", ratio());
+    w.kv("gbps", gbps());
+    w.end_object();
+    return w.take();
+  }
+
+  /// Publish this run into the registry: counters accumulate across runs,
+  /// stage wall times land in latency histograms. No-op while obs is
+  /// disabled (the registry gates every update).
+  void publish(obs::MetricsRegistry& r) const {
+    r.counter("svc.jobs").add(jobs);
+    r.counter("svc.jobs_failed").add(jobs_failed);
+    r.counter("svc.chunks").add(chunks);
+    r.counter("svc.bytes_in").add(bytes_in);
+    r.counter("svc.bytes_out").add(bytes_out);
+    r.gauge("svc.peak_queue_depth").set(static_cast<long long>(peak_queue_depth));
+    r.histogram("svc.plan_us").record(static_cast<u64>(plan_ms * 1e3));
+    r.histogram("svc.encode_us").record(static_cast<u64>(encode_ms * 1e3));
+    r.histogram("svc.assemble_us").record(static_cast<u64>(assemble_ms * 1e3));
+    r.histogram("svc.run_wall_us").record(static_cast<u64>(wall_ms * 1e3));
   }
 };
 

@@ -2,7 +2,30 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace repro::svc {
+namespace {
+
+/// Pool metric handles, resolved once (see obs/metrics.hpp on the pattern).
+struct PoolMetrics {
+  obs::Counter& steals;
+  obs::Gauge& queue_depth;
+  obs::Histogram& task_wait_us;  ///< enqueue -> dequeue
+  obs::Histogram& task_run_us;   ///< dequeue -> completion
+  obs::Histogram& steal_us;      ///< victim-scan latency of successful steals
+  static PoolMetrics& get() {
+    auto& r = obs::MetricsRegistry::global();
+    static PoolMetrics m{r.counter("svc.pool.steals"), r.gauge("svc.pool.queue_depth"),
+                         r.histogram("svc.pool.task_wait_us"),
+                         r.histogram("svc.pool.task_run_us"),
+                         r.histogram("svc.pool.steal_us")};
+    return m;
+  }
+};
+
+}  // namespace
 
 ThreadPool::ThreadPool(unsigned threads, std::size_t queue_capacity)
     : capacity_(std::max<std::size_t>(1, queue_capacity)) {
@@ -17,7 +40,8 @@ ThreadPool::ThreadPool(unsigned threads, std::size_t queue_capacity)
 
 ThreadPool::~ThreadPool() { shutdown(); }
 
-void ThreadPool::enqueue(Task t) {
+void ThreadPool::enqueue(std::function<void()> f) {
+  Task t{std::move(f), obs::enabled() ? obs::TraceRecorder::global().now_ns() : 0};
   std::unique_lock<std::mutex> lk(state_m_);
   space_cv_.wait(lk, [&] { return stopping_ || pending_ < capacity_; });
   if (stopping_) throw CompressionError("svc::ThreadPool: submit after shutdown");
@@ -35,6 +59,7 @@ void ThreadPool::enqueue(Task t) {
   ++pending_;
   ++counters_.submitted;
   counters_.peak_pending = std::max<u64>(counters_.peak_pending, pending_);
+  PoolMetrics::get().queue_depth.set(static_cast<long long>(pending_));
   lk.unlock();
   work_cv_.notify_one();
 }
@@ -49,6 +74,7 @@ bool ThreadPool::try_pop_own(unsigned self, Task& out) {
 }
 
 bool ThreadPool::try_steal(unsigned self, Task& out) {
+  const u64 t0 = obs::enabled() ? obs::TraceRecorder::global().now_ns() : 0;
   const unsigned n = static_cast<unsigned>(workers_.size());
   for (unsigned k = 1; k < n; ++k) {
     Worker& victim = *workers_[(self + k) % n];
@@ -56,6 +82,11 @@ bool ThreadPool::try_steal(unsigned self, Task& out) {
     if (victim.q.empty()) continue;
     out = std::move(victim.q.front());  // thieves steal FIFO
     victim.q.pop_front();
+    if (t0) {
+      PoolMetrics& m = PoolMetrics::get();
+      m.steals.add(1);
+      m.steal_us.record((obs::TraceRecorder::global().now_ns() - t0) / 1000);
+    }
     return true;
   }
   return false;
@@ -83,9 +114,22 @@ void ThreadPool::worker_loop(unsigned self) {
       --pending_;
       ++running_;
       if (was_steal) ++counters_.stolen;
+      PoolMetrics::get().queue_depth.set(static_cast<long long>(pending_));
     }
     space_cv_.notify_one();  // queue slot freed on dequeue, not completion
-    task();
+    u64 run_t0 = 0;
+    if (obs::enabled()) {
+      obs::TraceRecorder& rec = obs::TraceRecorder::global();
+      run_t0 = rec.now_ns();
+      // enqueue_ns can postdate run_t0 if TraceRecorder::clear() reset the
+      // epoch between enqueue and dequeue; skip the sample rather than wrap.
+      if (task.enqueue_ns && run_t0 >= task.enqueue_ns)
+        PoolMetrics::get().task_wait_us.record((run_t0 - task.enqueue_ns) / 1000);
+    }
+    task.fn();
+    if (run_t0)
+      PoolMetrics::get().task_run_us.record(
+          (obs::TraceRecorder::global().now_ns() - run_t0) / 1000);
     {
       std::lock_guard<std::mutex> lk(state_m_);
       --running_;

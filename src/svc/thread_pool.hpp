@@ -74,7 +74,14 @@ class ThreadPool {
   Counters counters() const;
 
  private:
-  using Task = std::function<void()>;
+  /// A queued closure plus its enqueue timestamp (ns on the obs trace clock;
+  /// 0 when observability is disabled). The timestamp is what turns into the
+  /// svc.pool.task_wait_us histogram — time spent queued before a worker
+  /// picked the task up, the service's scheduling-delay signal.
+  struct Task {
+    std::function<void()> fn;
+    u64 enqueue_ns = 0;
+  };
 
   struct Worker {
     mutable std::mutex m;
@@ -82,7 +89,7 @@ class ThreadPool {
     std::thread thread;
   };
 
-  void enqueue(Task t);
+  void enqueue(std::function<void()> f);
   void worker_loop(unsigned self);
   bool try_pop_own(unsigned self, Task& out);
   bool try_steal(unsigned self, Task& out);

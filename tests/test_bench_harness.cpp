@@ -1,9 +1,11 @@
 // Tests for the benchmark harness itself: the sweep engine feeds
 // EXPERIMENTS.md, so its aggregation (nested geometric means), compressor
-// filtering, and Pareto-front marking must be correct.
+// filtering, Pareto-front marking, and the machine-readable output paths
+// (--json rows, CSV schema) must be correct.
 #include <gtest/gtest.h>
 
 #include "harness.hpp"
+#include "obs/json.hpp"
 
 using namespace repro;
 using namespace repro::bench;
@@ -100,6 +102,60 @@ TEST(Harness, ParetoMarking) {
   EXPECT_TRUE(rows[0].pareto_decompress);
   EXPECT_TRUE(rows[1].pareto_decompress);
   EXPECT_FALSE(rows[2].pareto_decompress);
+}
+
+TEST(Harness, CsvHeaderMatchesRowSchema) {
+  // The documented schema: 10 comma-separated columns, fixed order.
+  std::string h = csv_header();
+  EXPECT_EQ(h,
+            "figure,compressor,eb,ratio,comp_MBps,decomp_MBps,psnr_dB,violations,"
+            "pareto_comp,pareto_decomp");
+}
+
+TEST(Harness, RowsJsonRoundTripsThroughParser) {
+  // The acceptance path for --json: every emitted row must survive a parse
+  // back through the obs JSON reader with its values intact.
+  std::vector<FigureRow> rows;
+  Row a;
+  a.compressor = "PFPL_Serial";
+  a.eb = 1e-3;
+  a.ratio = 5.25;
+  a.comp_mbps = 123.5;
+  a.decomp_mbps = 456.75;
+  a.psnr_db = 78.5;
+  a.violations = 3;
+  a.pareto_compress = true;
+  a.pareto_decompress = false;
+  Row b;
+  b.compressor = "SZ2 \"quoted\"";  // name needing JSON escaping
+  b.eb = 1e-4;
+  rows.emplace_back("fig6_abs", a);
+  rows.emplace_back("fig7_rel", b);
+
+  obs::JsonValue v = obs::parse_json(rows_json(rows));
+  ASSERT_TRUE(v.is_array());
+  ASSERT_EQ(v.arr.size(), 2u);
+  const obs::JsonValue& ra = v.arr[0];
+  for (const char* k : {"figure", "compressor", "eb", "ratio", "comp_MBps", "decomp_MBps",
+                        "psnr_dB", "violations", "pareto_comp", "pareto_decomp"})
+    ASSERT_TRUE(ra.has(k)) << k;
+  EXPECT_EQ(ra.at("figure").str, "fig6_abs");
+  EXPECT_EQ(ra.at("compressor").str, "PFPL_Serial");
+  EXPECT_DOUBLE_EQ(ra.at("eb").num, 1e-3);
+  EXPECT_DOUBLE_EQ(ra.at("ratio").num, 5.25);
+  EXPECT_DOUBLE_EQ(ra.at("comp_MBps").num, 123.5);
+  EXPECT_DOUBLE_EQ(ra.at("decomp_MBps").num, 456.75);
+  EXPECT_DOUBLE_EQ(ra.at("psnr_dB").num, 78.5);
+  EXPECT_DOUBLE_EQ(ra.at("violations").num, 3);
+  EXPECT_TRUE(ra.at("pareto_comp").b);
+  EXPECT_FALSE(ra.at("pareto_decomp").b);
+  EXPECT_EQ(v.arr[1].at("compressor").str, "SZ2 \"quoted\"");
+}
+
+TEST(Harness, RowsJsonEmptyIsEmptyArray) {
+  obs::JsonValue v = obs::parse_json(rows_json({}));
+  ASSERT_TRUE(v.is_array());
+  EXPECT_TRUE(v.arr.empty());
 }
 
 TEST(Harness, ParetoIsPerBound) {

@@ -1,0 +1,364 @@
+// Tests for the observability subsystem: metric correctness under
+// concurrency, histogram bucketing, Chrome-trace well-formedness (parsed
+// back with the obs JSON parser), the disabled-mode zero-footprint
+// guarantee, and the ThreadPool scheduler-counter invariants.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <future>
+#include <random>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "common/timer.hpp"
+#include "obs/control.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
+#include "svc/stats.hpp"
+#include "svc/thread_pool.hpp"
+
+using namespace repro;
+
+namespace {
+
+/// Every test must leave the global switch the way it found it (other tests
+/// in this binary assert on both modes).
+struct ObsGuard {
+  explicit ObsGuard(bool on) : prev(obs::enabled()) { obs::set_enabled(on); }
+  ~ObsGuard() { obs::set_enabled(prev); }
+  bool prev;
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------- JSON -----
+
+TEST(ObsJson, WriterEscapesAndParserRoundTrips) {
+  obs::JsonWriter w;
+  w.begin_object();
+  w.kv("plain", "abc");
+  w.kv("quoted", "a\"b\\c\nd\te");
+  w.kv("num", 1.5);
+  w.kv("neg", -3LL);
+  w.kv("flag", true);
+  w.key("arr").begin_array().value(1).value(2).end_array();
+  w.end_object();
+
+  obs::JsonValue v = obs::parse_json(w.str());
+  ASSERT_TRUE(v.is_object());
+  EXPECT_EQ(v.at("plain").str, "abc");
+  EXPECT_EQ(v.at("quoted").str, "a\"b\\c\nd\te");
+  EXPECT_DOUBLE_EQ(v.at("num").num, 1.5);
+  EXPECT_DOUBLE_EQ(v.at("neg").num, -3);
+  EXPECT_TRUE(v.at("flag").b);
+  ASSERT_EQ(v.at("arr").arr.size(), 2u);
+  EXPECT_DOUBLE_EQ(v.at("arr").arr[1].num, 2);
+}
+
+TEST(ObsJson, ParserRejectsMalformed) {
+  EXPECT_THROW(obs::parse_json("{"), std::runtime_error);
+  EXPECT_THROW(obs::parse_json("{\"a\":}"), std::runtime_error);
+  EXPECT_THROW(obs::parse_json("[1,2,]x"), std::runtime_error);
+  EXPECT_THROW(obs::parse_json("\"unterminated"), std::runtime_error);
+  // Depth bomb must throw, not overflow the stack.
+  std::string deep(1000, '[');
+  EXPECT_THROW(obs::parse_json(deep), std::runtime_error);
+}
+
+// ------------------------------------------------------------- metrics -----
+
+TEST(ObsMetrics, CounterSumsExactlyAcrossThreads) {
+  ObsGuard guard(true);
+  obs::Counter c;
+  constexpr int kThreads = 8, kIncrements = 50000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&c] {
+      for (int i = 0; i < kIncrements; ++i) c.add(1);
+    });
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.value(), static_cast<u64>(kThreads) * kIncrements);
+}
+
+TEST(ObsMetrics, HistogramBucketBoundaries) {
+  ObsGuard guard(true);
+  obs::Histogram h({10, 100, 1000});
+  // Boundary semantics: bucket i counts v <= bounds[i]; last bucket = rest.
+  EXPECT_EQ(h.bucket_of(0), 0u);
+  EXPECT_EQ(h.bucket_of(10), 0u);   // inclusive upper bound
+  EXPECT_EQ(h.bucket_of(11), 1u);
+  EXPECT_EQ(h.bucket_of(100), 1u);
+  EXPECT_EQ(h.bucket_of(101), 2u);
+  EXPECT_EQ(h.bucket_of(1000), 2u);
+  EXPECT_EQ(h.bucket_of(1001), 3u);  // overflow bucket
+
+  for (u64 v : {u64{5}, u64{10}, u64{11}, u64{100}, u64{5000}}) h.record(v);
+  std::vector<u64> counts = h.bucket_counts();
+  ASSERT_EQ(counts.size(), 4u);
+  EXPECT_EQ(counts[0], 2u);
+  EXPECT_EQ(counts[1], 2u);
+  EXPECT_EQ(counts[2], 0u);
+  EXPECT_EQ(counts[3], 1u);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_EQ(h.sum(), 5126u);
+  EXPECT_EQ(h.min(), 5u);
+  EXPECT_EQ(h.max(), 5000u);
+  EXPECT_DOUBLE_EQ(h.mean(), 5126.0 / 5.0);
+}
+
+TEST(ObsMetrics, HistogramRejectsNonIncreasingBounds) {
+  EXPECT_THROW(obs::Histogram({10, 10}), std::invalid_argument);
+  EXPECT_THROW(obs::Histogram({10, 5}), std::invalid_argument);
+}
+
+TEST(ObsMetrics, HistogramConcurrentRecordsSumExactly) {
+  ObsGuard guard(true);
+  obs::Histogram h({8, 64});
+  constexpr int kThreads = 6, kRecords = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&h, t] {
+      for (int i = 0; i < kRecords; ++i) h.record(static_cast<u64>(t));
+    });
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(h.count(), static_cast<u64>(kThreads) * kRecords);
+  u64 total = 0;
+  for (u64 b : h.bucket_counts()) total += b;
+  EXPECT_EQ(total, h.count());
+}
+
+TEST(ObsMetrics, GaugeTracksValueAndPeak) {
+  ObsGuard guard(true);
+  obs::Gauge g;
+  g.set(5);
+  g.add(10);
+  g.add(-12);
+  EXPECT_EQ(g.value(), 3);
+  EXPECT_EQ(g.peak(), 15);
+}
+
+TEST(ObsMetrics, RegistryGetOrCreateIsStableAndJsonParses) {
+  ObsGuard guard(true);
+  auto& r = obs::MetricsRegistry::global();
+  obs::Counter& a = r.counter("test.registry.counter");
+  obs::Counter& b = r.counter("test.registry.counter");
+  EXPECT_EQ(&a, &b);  // same name -> same metric
+  a.add(7);
+  r.histogram("test.registry.hist").record(42);
+  obs::JsonValue v = obs::parse_json(r.json());
+  EXPECT_GE(v.at("counters").at("test.registry.counter").num, 7);
+  EXPECT_TRUE(v.at("histograms").has("test.registry.hist"));
+}
+
+TEST(ObsMetrics, DisabledModeRecordsNothing) {
+  ObsGuard guard(false);
+  obs::Counter c;
+  obs::Gauge g;
+  obs::Histogram h({10});
+  c.add(100);
+  g.set(5);
+  h.record(3);
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(g.value(), 0);
+  EXPECT_EQ(h.count(), 0u);
+}
+
+// --------------------------------------------------------------- spans -----
+
+TEST(ObsTrace, NestedSpansProduceWellFormedChromeJson) {
+  ObsGuard guard(true);
+  auto& rec = obs::TraceRecorder::global();
+  rec.clear();
+  {
+    OBS_SPAN("outer");
+    {
+      OBS_SPAN("inner");
+      volatile int sink = 0;
+      for (int i = 0; i < 1000; ++i) sink = sink + i;
+    }
+    OBS_SPAN("sibling");
+  }
+  ASSERT_EQ(rec.event_count(), 3u);
+
+  obs::JsonValue doc = obs::parse_json(rec.chrome_json());
+  ASSERT_TRUE(doc.is_object());
+  ASSERT_TRUE(doc.at("traceEvents").is_array());
+  const auto& evs = doc.at("traceEvents").arr;
+  ASSERT_EQ(evs.size(), 3u);
+  for (const obs::JsonValue& e : evs) {
+    // The keys Perfetto/chrome://tracing require of a complete event.
+    for (const char* k : {"ph", "ts", "dur", "tid", "name"}) ASSERT_TRUE(e.has(k)) << k;
+    EXPECT_EQ(e.at("ph").str, "X");
+    EXPECT_GE(e.at("dur").num, 0);
+  }
+
+  // Nesting: outer contains inner in time, and depths reflect the tree.
+  std::vector<obs::SpanEvent> raw = rec.events();
+  auto find = [&](const std::string& n) {
+    return *std::find_if(raw.begin(), raw.end(),
+                         [&](const obs::SpanEvent& e) { return e.name == n; });
+  };
+  obs::SpanEvent outer = find("outer"), inner = find("inner"), sib = find("sibling");
+  EXPECT_EQ(outer.depth, 0u);
+  EXPECT_EQ(inner.depth, 1u);
+  EXPECT_EQ(sib.depth, 1u);
+  EXPECT_LE(outer.start_ns, inner.start_ns);
+  EXPECT_GE(outer.start_ns + outer.dur_ns, inner.start_ns + inner.dur_ns);
+  rec.clear();
+}
+
+TEST(ObsTrace, TextTreeAggregatesSiblingRuns) {
+  ObsGuard guard(true);
+  auto& rec = obs::TraceRecorder::global();
+  rec.clear();
+  {
+    OBS_SPAN("parent");
+    for (int i = 0; i < 5; ++i) OBS_SPAN("child");
+  }
+  std::string tree = rec.text_tree();
+  EXPECT_NE(tree.find("parent"), std::string::npos);
+  EXPECT_NE(tree.find("child"), std::string::npos);
+  EXPECT_NE(tree.find("x5"), std::string::npos);  // 5 children collapsed
+  rec.clear();
+}
+
+TEST(ObsTrace, SpansFromMultipleThreadsGetDistinctTids) {
+  ObsGuard guard(true);
+  auto& rec = obs::TraceRecorder::global();
+  rec.clear();
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 3; ++t)
+    threads.emplace_back([] { OBS_SPAN("worker_span"); });
+  for (auto& t : threads) t.join();
+  std::vector<obs::SpanEvent> evs = rec.events();
+  ASSERT_EQ(evs.size(), 3u);
+  std::set<u32> tids;
+  for (const obs::SpanEvent& e : evs) tids.insert(e.tid);
+  EXPECT_EQ(tids.size(), 3u);
+  EXPECT_EQ(rec.thread_count(), 3u);
+  rec.clear();
+}
+
+TEST(ObsTrace, DisabledModeRecordsNoSpans) {
+  ObsGuard guard(false);
+  auto& rec = obs::TraceRecorder::global();
+  rec.clear();
+  {
+    OBS_SPAN("should_not_exist");
+    obs::ScopedSpan dynamic(std::string("also_not"));
+  }
+  EXPECT_EQ(rec.event_count(), 0u);
+  // No thread shows up as having recorded anything: the disabled path never
+  // touches (or allocates) a thread buffer.
+  EXPECT_EQ(rec.thread_count(), 0u);
+}
+
+// -------------------------------------------------------------- report -----
+
+TEST(ObsReport, FoldsMetricsSpansAndSections) {
+  ObsGuard guard(true);
+  auto& rec = obs::TraceRecorder::global();
+  rec.clear();
+  obs::RunReport& report = obs::RunReport::global();
+  report.clear();
+  { OBS_SPAN("report_span"); }
+  report.set_meta("tool", "test");
+  report.add_run_times("case/compress", {1.5, 2.5, 2.0});
+  report.add_section("custom", "{\"answer\":42}");
+
+  obs::JsonValue v = obs::parse_json(report.json());
+  EXPECT_EQ(v.at("meta").at("tool").str, "test");
+  ASSERT_TRUE(v.at("spans").has("report_span"));
+  EXPECT_DOUBLE_EQ(v.at("spans").at("report_span").at("count").num, 1);
+  ASSERT_EQ(v.at("run_times_ms").at("case/compress").arr.size(), 3u);
+  EXPECT_DOUBLE_EQ(v.at("sections").at("custom").at("answer").num, 42);
+  report.clear();
+  rec.clear();
+}
+
+TEST(ObsReport, SvcStatsJsonAndSummary) {
+  svc::SvcStats st;
+  st.jobs = 3;
+  st.jobs_failed = 1;
+  st.chunks = 10;
+  st.bytes_in = 1000;
+  st.bytes_out = 400;
+  st.threads = 2;
+  st.wall_ms = 5;
+  // The two-step format keeps the failed part intact (the old one-expression
+  // form depended on a temporary's lifetime).
+  std::string s = st.summary();
+  EXPECT_NE(s.find("jobs=3 failed=1"), std::string::npos) << s;
+  obs::JsonValue v = obs::parse_json(st.json());
+  EXPECT_DOUBLE_EQ(v.at("jobs").num, 3);
+  EXPECT_DOUBLE_EQ(v.at("jobs_failed").num, 1);
+  EXPECT_DOUBLE_EQ(v.at("ratio").num, 2.5);
+}
+
+// ----------------------------------------------------- timer satellite -----
+
+TEST(ObsTimer, MedianRuntimeRecordsPerRunTimes) {
+  std::vector<double> per_run;
+  int calls = 0;
+  double med = median_runtime([&] { ++calls; }, 5, &per_run);
+  EXPECT_EQ(calls, 5);
+  ASSERT_EQ(per_run.size(), 5u);
+  std::vector<double> sorted = per_run;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_DOUBLE_EQ(med, sorted[2]);
+}
+
+// ------------------------------------------------- ThreadPool counters -----
+
+TEST(ObsThreadPool, CountersConsistentAfterRandomizedBurst) {
+  ObsGuard guard(true);
+  constexpr unsigned kWorkers = 4;
+  constexpr int kTasks = 400;
+  svc::ThreadPool pool(kWorkers, /*queue_capacity=*/64);
+  std::mt19937 rng(1234);
+  std::uniform_int_distribution<int> spin(0, 2000);
+  std::atomic<int> ran{0};
+  std::vector<std::future<int>> futures;
+  futures.reserve(kTasks);
+  for (int i = 0; i < kTasks; ++i) {
+    int work = spin(rng);
+    futures.push_back(pool.submit([&ran, work] {
+      volatile int sink = 0;
+      for (int j = 0; j < work; ++j) sink = sink + j;
+      return ran.fetch_add(1);
+    }));
+  }
+  for (auto& f : futures) f.get();
+  pool.wait_idle();
+
+  svc::ThreadPool::Counters c = pool.counters();
+  EXPECT_EQ(ran.load(), kTasks);
+  EXPECT_EQ(c.submitted, static_cast<u64>(kTasks));
+  EXPECT_EQ(c.executed, c.submitted);  // every accepted task ran
+  EXPECT_LE(c.stolen, c.executed);     // steals are a subset of executions
+  EXPECT_LE(c.peak_pending, 64u);      // bounded queue held
+  pool.shutdown();
+  // Counters are stable after shutdown.
+  EXPECT_EQ(pool.counters().executed, c.executed);
+}
+
+TEST(ObsThreadPool, WaitAndRunHistogramsPopulateWhenEnabled) {
+  ObsGuard guard(true);
+  auto& r = obs::MetricsRegistry::global();
+  obs::Histogram& wait = r.histogram("svc.pool.task_wait_us");
+  obs::Histogram& run = r.histogram("svc.pool.task_run_us");
+  const u64 wait_before = wait.count(), run_before = run.count();
+  {
+    svc::ThreadPool pool(2);
+    std::vector<std::future<void>> fs;
+    for (int i = 0; i < 32; ++i) fs.push_back(pool.submit([] {}));
+    for (auto& f : fs) f.get();
+    pool.wait_idle();
+  }
+  EXPECT_EQ(wait.count() - wait_before, 32u);
+  EXPECT_EQ(run.count() - run_before, 32u);
+}
