@@ -26,5 +26,5 @@ int main(int argc, char** argv) {
   noa.exclude_non_3d = true;
   noa.exclude_compressors = {"SZ2_Serial"};
   bench::print_rows("Fig16c_PSNR_NOA_f32", bench::run_sweep(noa));
-  return 0;
+  return bench::finish();
 }

@@ -23,5 +23,5 @@ int main(int argc, char** argv) {
   cfg.dtype = DType::F64;
   cfg.exclude_compressors = {"SZ2_Serial", "SPERR_Serial"};
   bench::print_rows("Fig6b_ABS_compress_f64", bench::run_sweep(cfg));
-  return 0;
+  return bench::finish();
 }

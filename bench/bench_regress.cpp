@@ -1,0 +1,46 @@
+// bench_regress — the repo's perf-regression driver.
+//
+// Runs the tier-1 figure sweeps (ABS / REL / NOA, f32 + f64, PFPL only) in
+// one process at a laptop-scale protocol, then either writes the results as
+// a baseline (`--update-baseline [--baseline FILE]`, default
+// BENCH_baseline.json) or compares them against a committed baseline
+// (`--baseline FILE [--gate PCT]`, exit 3 on a failed gate). Each sweep
+// measures compress and decompress in a single pass, so the Fig6/Fig7-style
+// compress/decompress figure pairs collapse into one Regress_* figure per
+// (eb, dtype).
+//
+//   bench_regress --update-baseline            # refresh BENCH_baseline.json
+//   bench_regress --runs 3 --baseline BENCH_baseline.json --gate 25
+//
+// All common harness flags apply (--runs/--target/--files/--json/--trace).
+#include "harness.hpp"
+
+using namespace repro;
+
+int main(int argc, char** argv) {
+  bench::SweepConfig base;
+  // Small deterministic protocol: 1 file per suite, 16K values, 2 bounds —
+  // big enough for stable medians, small enough for a CI smoke job. Ratios
+  // and violation counts are exactly reproducible (seeded generators);
+  // throughput carries the noise the gate's MAD allowance absorbs.
+  base.target_values = 1 << 14;
+  base.max_files = 1;
+  base.runs = 5;
+  base.bounds = {1e-2, 1e-3};
+  base.only_compressors = {"PFPL_Serial"};
+  bench::SweepConfig cfg = bench::parse_args(argc, argv, base);
+
+  const struct {
+    EbType eb;
+    const char* name;
+  } kEbs[] = {{EbType::ABS, "ABS"}, {EbType::REL, "REL"}, {EbType::NOA, "NOA"}};
+  for (const auto& e : kEbs) {
+    for (DType dtype : {DType::F32, DType::F64}) {
+      cfg.eb = e.eb;
+      cfg.dtype = dtype;
+      bench::print_rows(std::string("Regress_") + e.name + "_" + to_string(dtype),
+                        bench::run_sweep(cfg));
+    }
+  }
+  return bench::finish();
+}

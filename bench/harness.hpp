@@ -27,6 +27,9 @@ struct SweepConfig {
   int max_files = 2;                          ///< per suite
   int runs = 3;  ///< medians over this many runs (paper: 9)
   std::string json_path;  ///< --json FILE: machine-readable rows + RunReport
+  std::string baseline_path;     ///< --baseline FILE: compare against / write to
+  bool update_baseline = false;  ///< --update-baseline: write instead of compare
+  double gate_pct = 0;           ///< --gate PCT: enforce (exit 3 on fail)
 };
 
 /// Parse common CLI flags: --target N --files N --runs N --full (paper-scale
@@ -34,7 +37,9 @@ struct SweepConfig {
 /// obs RunReport to FILE at process exit; also enables observability so
 /// per-run times and stage metrics are captured), --csv-header (print the
 /// CSV header line and exit — lets scripts fetch the schema without running
-/// a sweep), --trace FILE (write a Chrome trace of the sweep at exit).
+/// a sweep), --trace FILE (write a Chrome trace of the sweep at exit),
+/// --baseline FILE / --update-baseline / --gate PCT (perf-regression gating,
+/// evaluated by finish()).
 SweepConfig parse_args(int argc, char** argv, SweepConfig base);
 
 struct Row {
@@ -47,6 +52,11 @@ struct Row {
   std::size_t violations = 0;  ///< total bound violations observed
   bool pareto_compress = false;
   bool pareto_decompress = false;
+  /// Per-run row-level throughput samples (same nested-geomean aggregation
+  /// as the median columns, computed per run index). Only populated while
+  /// observability is on — they feed the baseline's median/MAD summaries.
+  std::vector<double> comp_run_mbps;
+  std::vector<double> decomp_run_mbps;
 };
 
 /// Run the full sweep: every registered compressor that supports the
@@ -77,5 +87,15 @@ std::string rows_json(const std::vector<FigureRow>& rows);
 /// `path` at process exit ({"rows":[...], "report": <obs RunReport>}).
 /// Enables observability (obs::set_enabled) so the report has content.
 void set_json_output(const std::string& path);
+
+/// Finalize the run for baseline/gate purposes; every bench main returns
+/// finish() as its exit code. When `--update-baseline` was given, writes the
+/// accumulated row metrics (plus latency-histogram quantiles) to the
+/// baseline file and returns 0. When `--baseline FILE` was given, compares
+/// the current run against it, prints the verdict table to stderr, folds the
+/// JSON verdicts into the RunReport ("gate" section), and returns 3 if
+/// `--gate PCT` was given and any metric failed. Without baseline flags it
+/// is a no-op returning 0.
+int finish();
 
 }  // namespace repro::bench

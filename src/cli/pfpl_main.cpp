@@ -14,6 +14,12 @@
 //   pfpl list <in.pfpa>
 //   pfpl stats <in.pfpa|in.pfpl> [--json]      # machine-readable stats
 //
+// Continuous error-bound audit (src/obs/audit.hpp):
+//   pfpl audit [--full] [--json] [--suite NAME] [--dtype f32|f64]
+//        [--eb abs|rel|noa] [--eps 1e-3] [--exec serial|omp|gpusim]
+//   sweeps the synthetic suites through compress -> decompress and re-checks
+//   every reconstructed value; exits 3 if any bound violation is found.
+//
 // Observability (valid on every verb, parsed before dispatch):
 //   --trace FILE    record spans and write a Chrome trace_event JSON
 //                   (chrome://tracing / Perfetto loadable)
@@ -21,7 +27,7 @@
 //   --report FILE   write the obs RunReport JSON artifact
 //
 // Exit codes: 0 ok, 1 error (bad/corrupt input, I/O failure), 2 usage,
-// 3 verify found a bound violation.
+// 3 verify/audit found a bound violation.
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -31,6 +37,7 @@
 #include "core/pfpl.hpp"
 #include "io/raw_file.hpp"
 #include "metrics/error_stats.hpp"
+#include "obs/audit.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
 #include "obs/report.hpp"
@@ -52,9 +59,12 @@ namespace {
                "  pfpl verify <original.raw> <in.pfpl>\n"
                "  pfpl pack <out.pfpa> <in1.raw> [in2.raw ...] --dtype f32|f64\n"
                "       --eb abs|rel|noa --eps <e> [--threads N] [--exec serial|omp|gpusim]\n"
+               "       [--audit]   # re-verify every packed entry, exit 3 on violation\n"
                "  pfpl unpack <in.pfpa> <outdir> [--entry NAME]\n"
                "  pfpl list <in.pfpa>\n"
                "  pfpl stats <in.pfpa|in.pfpl> [--json]\n"
+               "  pfpl audit [--full] [--json] [--suite NAME] [--dtype f32|f64]\n"
+               "       [--eb abs|rel|noa] [--eps <e>] [--exec serial|omp|gpusim]\n"
                "observability (any verb): --trace FILE  --metrics  --report FILE\n");
   std::exit(2);
 }
@@ -121,7 +131,13 @@ struct Flags {
   pfpl::Params params;
   unsigned threads = 0;
   std::string entry;
-  bool json = false;  ///< `pfpl stats --json`: machine-readable output
+  bool json = false;   ///< `pfpl stats|audit --json`: machine-readable output
+  bool audit = false;  ///< `pfpl pack --audit`: re-verify every packed job
+  bool full = false;   ///< `pfpl audit --full`: paper-scale protocol
+  std::string suite;   ///< `pfpl audit --suite NAME`: restrict to one suite
+  // `pfpl audit` narrows its sweep only along axes the user actually set,
+  // so remember which of the shared flags were explicit.
+  bool dtype_set = false, eb_set = false, eps_set = false;
 };
 
 /// Parse `--flag value` pairs from argv[first..); non-flag arguments are
@@ -139,6 +155,7 @@ Flags parse_flags(int argc, char** argv, int first, std::vector<std::string>* po
     };
     if (a == "--dtype") {
       std::string v = need("--dtype");
+      fl.dtype_set = true;
       if (v == "f32") {
         fl.dtype = DType::F32;
       } else if (v == "f64") {
@@ -149,6 +166,7 @@ Flags parse_flags(int argc, char** argv, int first, std::vector<std::string>* po
       }
     } else if (a == "--eb") {
       std::string v = need("--eb");
+      fl.eb_set = true;
       if (v == "abs") {
         fl.params.eb = EbType::ABS;
       } else if (v == "rel") {
@@ -161,6 +179,7 @@ Flags parse_flags(int argc, char** argv, int first, std::vector<std::string>* po
       }
     } else if (a == "--eps") {
       std::string v = need("--eps");
+      fl.eps_set = true;
       try {
         fl.params.eps = std::stod(v);
       } catch (const std::exception&) {
@@ -177,8 +196,14 @@ Flags parse_flags(int argc, char** argv, int first, std::vector<std::string>* po
       }
     } else if (a == "--entry") {
       fl.entry = need("--entry");
+    } else if (a == "--suite") {
+      fl.suite = need("--suite");
     } else if (a == "--json") {
       fl.json = true;
+    } else if (a == "--audit") {
+      fl.audit = true;
+    } else if (a == "--full") {
+      fl.full = true;
     } else if (!a.empty() && a[0] == '-') {
       usage();
     } else if (positional) {
@@ -220,10 +245,11 @@ int cmd_pack(const std::vector<std::string>& positional, const Flags& fl) {
     raws.push_back(io::read_file(positional[i]));
     jobs.push_back({names[i - 1], make_field(raws.back(), fl.dtype), fl.params});
   }
-  svc::BatchCompressor batch({.threads = fl.threads});
+  svc::BatchCompressor batch({.threads = fl.threads, .audit = fl.audit});
   std::vector<svc::JobResult> results = batch.run(jobs);
   if (obs::enabled()) obs::RunReport::global().add_section("svc", batch.stats().json());
   int failed = 0;
+  u64 audit_violations = 0;
   svc::ArchiveWriter writer(out_path);
   for (const svc::JobResult& r : results) {
     if (r.failed) {
@@ -231,12 +257,40 @@ int cmd_pack(const std::vector<std::string>& positional, const Flags& fl) {
       ++failed;
       continue;
     }
+    if (r.audited && r.audit_violations) {
+      std::fprintf(stderr, "pfpl: %s: audit found %llu bound violation(s)\n",
+                   r.name.c_str(), static_cast<unsigned long long>(r.audit_violations));
+      audit_violations += r.audit_violations;
+    }
     writer.add(r.name, r.header, r.stream, r.raw_bytes);
   }
   writer.finish();
   std::printf("%s: %zu entries\n%s\n", out_path.c_str(), results.size() - failed,
               batch.stats().summary().c_str());
-  return failed ? 1 : 0;
+  if (failed) return 1;
+  return audit_violations ? 3 : 0;
+}
+
+/// `pfpl audit` — run the continuous error-bound audit sweep. The shared
+/// --dtype/--eb/--eps flags narrow the sweep along that axis only when given;
+/// the default covers every suite x {f32,f64} x {abs,rel,noa} x two bounds.
+int cmd_audit(const std::vector<std::string>& positional, const Flags& fl) {
+  if (!positional.empty()) usage();
+  obs::AuditConfig cfg;
+  if (fl.full) cfg.scale_full();
+  if (fl.dtype_set) cfg.dtypes = {fl.dtype};
+  if (fl.eb_set) cfg.ebs = {fl.params.eb};
+  if (fl.eps_set) cfg.bounds = {fl.params.eps};
+  if (!fl.suite.empty()) cfg.suites = {fl.suite};
+  cfg.exec = fl.params.exec;
+  obs::ErrorBoundAuditor auditor(cfg);
+  obs::AuditResult res = auditor.run();
+  if (obs::enabled()) obs::RunReport::global().add_section("audit", res.json());
+  if (fl.json)
+    std::printf("%s\n", res.json().c_str());
+  else
+    std::printf("%s", res.text().c_str());
+  return res.ok() ? 0 : 3;
 }
 
 int cmd_unpack(const std::vector<std::string>& positional, const Flags& fl) {
@@ -353,15 +407,20 @@ int cmd_stats(const std::vector<std::string>& positional, const Flags& fl) {
 }
 
 int run_command(int argc, char** argv) {
-  if (argc < 3) usage();
+  if (argc < 2) usage();
   std::string mode = argv[1];
+  // `audit` is the only verb with no positional arguments; every other verb
+  // needs at least one.
+  if (mode != "audit" && argc < 3) usage();
   try {
-    if (mode == "pack" || mode == "unpack" || mode == "list" || mode == "stats") {
+    if (mode == "pack" || mode == "unpack" || mode == "list" || mode == "stats" ||
+        mode == "audit") {
       std::vector<std::string> positional;
       Flags fl = parse_flags(argc, argv, 2, &positional);
       if (mode == "pack") return cmd_pack(positional, fl);
       if (mode == "unpack") return cmd_unpack(positional, fl);
       if (mode == "stats") return cmd_stats(positional, fl);
+      if (mode == "audit") return cmd_audit(positional, fl);
       return cmd_list(positional);
     }
     if (mode == "info") {

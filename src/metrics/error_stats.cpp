@@ -47,10 +47,19 @@ ErrorStats compute_stats_impl(std::span<const T> orig, std::span<const T> recon)
     if ((o > T(0) && r < T(0)) || (o < T(0) && r > T(0))) ++s.sign_flips;
   }
   s.value_range = any ? mx - mn : 0.0;
+  s.zero_range = s.value_range == 0.0;
   s.mse = finite_pairs ? sum_sq / static_cast<double>(finite_pairs) : 0.0;
-  s.psnr = (s.mse > 0.0 && s.value_range > 0.0)
-               ? 20.0 * std::log10(s.value_range) - 10.0 * std::log10(s.mse)
-               : std::numeric_limits<double>::infinity();
+  // Always-finite PSNR: exact reconstruction hits the cap; a constant
+  // (zero-range) field with real error reports 0 dB instead of the +inf the
+  // range-based formula would produce (which used to hide the error).
+  if (s.mse <= 0.0) {
+    s.psnr = kPsnrCapDb;
+  } else if (s.zero_range) {
+    s.psnr = 0.0;
+  } else {
+    s.psnr = std::min(kPsnrCapDb,
+                      20.0 * std::log10(s.value_range) - 10.0 * std::log10(s.mse));
+  }
   return s;
 }
 

@@ -8,7 +8,12 @@
 // core/quantizers.hpp.
 //
 // PSNR is computed the way lossy-compression papers (and Figure 16) do:
-//   PSNR = 20*log10(value_range) - 10*log10(MSE).
+//   PSNR = 20*log10(value_range) - 10*log10(MSE)
+// and is always finite so it can flow into JSON artifacts unmodified:
+// perfect reconstruction (MSE = 0) reports kPsnrCapDb, and a zero-range
+// (constant) field with any error reports 0 dB — the range-based formula is
+// undefined there, and the old +inf silently hid real error (the
+// `zero_range` flag makes the degenerate case explicit).
 #pragma once
 
 #include <cstddef>
@@ -18,12 +23,18 @@
 
 namespace repro::metrics {
 
+/// Finite PSNR ceiling reported for exact reconstruction (MSE = 0).
+inline constexpr double kPsnrCapDb = 999.0;
+
 struct ErrorStats {
   double max_abs = 0.0;       ///< max |orig - recon| over finite pairs
   double max_rel = 0.0;       ///< max relative error over nonzero finite origs
   double mse = 0.0;           ///< mean squared error over finite pairs
-  double psnr = 0.0;          ///< range-based peak signal-to-noise ratio (dB)
+  double psnr = 0.0;          ///< range-based PSNR (dB), always finite:
+                              ///< kPsnrCapDb when MSE = 0, 0 when the field
+                              ///< is constant (zero range) but MSE > 0
   double value_range = 0.0;   ///< max - min of the finite original values
+  bool zero_range = false;    ///< the finite originals span no range
   std::size_t count = 0;      ///< values compared
   std::size_t nonfinite_mismatches = 0;  ///< NaN<->number or inf sign flips
   std::size_t sign_flips = 0;            ///< finite values whose sign flipped

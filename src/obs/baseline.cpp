@@ -1,0 +1,289 @@
+#include "obs/baseline.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "obs/json.hpp"
+
+namespace repro::obs {
+namespace {
+
+std::string read_file_text(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (!f) throw CompressionError("baseline: cannot open '" + path + "'");
+  std::string out;
+  char buf[1 << 16];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) out.append(buf, n);
+  const bool err = std::ferror(f) != 0;
+  std::fclose(f);
+  if (err) throw CompressionError("baseline: read error on '" + path + "'");
+  return out;
+}
+
+double num_or(const JsonValue& obj, const std::string& key, double fallback) {
+  if (!obj.has(key)) return fallback;
+  const JsonValue& v = obj.at(key);
+  return v.type == JsonValue::Type::Number ? v.num : fallback;
+}
+
+}  // namespace
+
+std::string BaselineDoc::json() const {
+  JsonWriter w;
+  w.begin_object();
+  w.kv("schema", kSchema);
+  w.kv("tag", tag);
+  w.key("meta").begin_object();
+  for (const auto& [k, v] : meta) w.kv(k, v);
+  w.end_object();
+  w.key("metrics").begin_object();
+  for (const auto& [name, m] : metrics) {
+    w.key(name).begin_object();
+    w.kv("median", m.median);
+    w.kv("mad", m.mad);
+    w.kv("n", static_cast<unsigned long long>(m.n));
+    w.kv("better", to_string(m.better));
+    if (!m.unit.empty()) w.kv("unit", m.unit);
+    if (m.advisory) w.kv("advisory", true);
+    w.end_object();
+  }
+  w.end_object();
+  w.end_object();
+  return w.take();
+}
+
+BaselineDoc BaselineDoc::from_json(const std::string& text) {
+  JsonValue root;
+  try {
+    root = parse_json(text);
+  } catch (const std::exception& e) {
+    throw CompressionError(std::string("baseline: ") + e.what());
+  }
+  if (!root.is_object() || !root.has("schema") ||
+      root.at("schema").str != std::string(kSchema))
+    throw CompressionError("baseline: missing or unsupported schema marker (want '" +
+                           std::string(kSchema) + "')");
+  BaselineDoc doc;
+  if (root.has("tag")) doc.tag = root.at("tag").str;
+  if (root.has("meta") && root.at("meta").is_object())
+    for (const auto& [k, v] : root.at("meta").obj)
+      if (v.type == JsonValue::Type::String) doc.meta[k] = v.str;
+  if (root.has("metrics") && root.at("metrics").is_object()) {
+    for (const auto& [name, v] : root.at("metrics").obj) {
+      if (!v.is_object()) continue;
+      BaselineMetric m;
+      m.median = num_or(v, "median", 0.0);
+      m.mad = num_or(v, "mad", 0.0);
+      m.n = static_cast<u64>(num_or(v, "n", 0.0));
+      if (v.has("better") && v.at("better").str == "lower") m.better = Better::Lower;
+      if (v.has("unit")) m.unit = v.at("unit").str;
+      if (v.has("advisory")) m.advisory = v.at("advisory").b;
+      doc.metrics[name] = m;
+    }
+  }
+  return doc;
+}
+
+BaselineDoc BaselineStore::load(const std::string& path) {
+  return BaselineDoc::from_json(read_file_text(path));
+}
+
+void BaselineStore::save(const std::string& path, const BaselineDoc& doc) {
+  const std::string text = doc.json();
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (!f) throw CompressionError("baseline: cannot write '" + path + "'");
+  const std::size_t wrote = std::fwrite(text.data(), 1, text.size(), f);
+  const int rc = std::fclose(f);
+  if (wrote != text.size() || rc != 0)
+    throw CompressionError("baseline: short write to '" + path + "'");
+}
+
+double median_of(std::vector<double> xs) {
+  if (xs.empty()) return 0.0;
+  const std::size_t mid = xs.size() / 2;
+  std::nth_element(xs.begin(), xs.begin() + static_cast<std::ptrdiff_t>(mid), xs.end());
+  double m = xs[mid];
+  if (xs.size() % 2 == 0) {
+    // Even count: midpoint of the two central samples. nth_element left the
+    // lower half before `mid`, so its max is the lower central sample.
+    const double lower = *std::max_element(xs.begin(), xs.begin() + static_cast<std::ptrdiff_t>(mid));
+    m = (m + lower) / 2.0;
+  }
+  return m;
+}
+
+double mad_of(const std::vector<double>& xs) {
+  if (xs.size() < 2) return 0.0;
+  const double med = median_of(xs);
+  std::vector<double> dev;
+  dev.reserve(xs.size());
+  for (double x : xs) dev.push_back(std::abs(x - med));
+  return median_of(std::move(dev));
+}
+
+BaselineMetric summarize_samples(const std::vector<double>& samples, Better better,
+                                 std::string unit, bool advisory) {
+  std::vector<double> finite;
+  finite.reserve(samples.size());
+  for (double s : samples)
+    if (std::isfinite(s)) finite.push_back(s);
+  BaselineMetric m;
+  m.n = finite.size();
+  m.median = median_of(finite);
+  m.mad = mad_of(finite);
+  m.better = better;
+  m.unit = std::move(unit);
+  m.advisory = advisory;
+  return m;
+}
+
+const char* to_string(Verdict v) {
+  switch (v) {
+    case Verdict::Pass: return "pass";
+    case Verdict::New: return "new";
+    case Verdict::Missing: return "missing";
+    case Verdict::Skip: return "skip";
+    case Verdict::Warn: return "warn";
+    case Verdict::Fail: return "fail";
+  }
+  return "?";
+}
+
+GateResult RegressionGate::compare(
+    const BaselineDoc& baseline, const std::map<std::string, BaselineMetric>& current) const {
+  GateResult res;
+  auto tally = [&res](const GateRow& row) {
+    switch (row.verdict) {
+      case Verdict::Fail: ++res.fails; break;
+      case Verdict::Warn: ++res.warns; break;
+      case Verdict::Skip: ++res.skips; break;
+      default: ++res.passes; break;
+    }
+    res.rows.push_back(row);
+  };
+
+  for (const auto& [name, base] : baseline.metrics) {
+    GateRow row;
+    row.metric = name;
+    row.baseline = base.median;
+    row.better = base.better;
+
+    auto it = current.find(name);
+    if (it == current.end()) {
+      row.verdict = cfg_.fail_on_missing ? Verdict::Fail : Verdict::Missing;
+      row.note = "metric absent from current run";
+      tally(row);
+      continue;
+    }
+    const BaselineMetric& cur = it->second;
+    row.current = cur.median;
+
+    // A side with no valid samples (all runs NaN, or nothing measured) is
+    // not judgeable — neither pass nor fail.
+    if (base.n == 0 || cur.n == 0 || !std::isfinite(base.median) ||
+        !std::isfinite(cur.median)) {
+      row.verdict = Verdict::Skip;
+      row.note = base.n == 0 ? "baseline has no valid samples" : "no valid samples";
+      tally(row);
+      continue;
+    }
+
+    // Noise allowance: flat pct bound, widened by the larger of the two
+    // sides' relative MADs. MAD = 0 (all-identical runs) degenerates to the
+    // flat bound.
+    const double abs_base = std::abs(base.median);
+    if (abs_base == 0.0) {
+      // No relative scale. Equal-to-baseline passes; for lower-is-better
+      // metrics (violations, latencies) any growth from 0 is a hard fail —
+      // this is what makes "zero bound violations" an enforced invariant.
+      if (cur.median == 0.0) {
+        row.verdict = Verdict::Pass;
+      } else if (base.better == Better::Lower) {
+        row.verdict = base.advisory ? Verdict::Warn : Verdict::Fail;
+        row.note = "baseline is 0; any increase is a regression";
+      } else {
+        row.verdict = Verdict::Pass;
+        row.note = "improved from zero baseline";
+      }
+      tally(row);
+      continue;
+    }
+
+    const double rel_mad = std::max(base.mad, cur.mad) / abs_base;
+    row.allowed_pct = std::max(cfg_.pct, cfg_.mad_k * rel_mad * 100.0);
+    row.change_pct = (cur.median - base.median) / abs_base * 100.0;
+    const double degradation_pct =
+        base.better == Better::Higher ? -row.change_pct : row.change_pct;
+
+    if (degradation_pct > row.allowed_pct) {
+      row.verdict = base.advisory ? Verdict::Warn : Verdict::Fail;
+      if (base.advisory) row.note = "advisory metric: capped at warn";
+    } else if (degradation_pct > cfg_.warn_fraction * row.allowed_pct) {
+      row.verdict = Verdict::Warn;
+    } else {
+      row.verdict = Verdict::Pass;
+    }
+    tally(row);
+  }
+
+  // Metrics the current run has but the baseline does not.
+  for (const auto& [name, cur] : current) {
+    if (baseline.metrics.count(name)) continue;
+    GateRow row;
+    row.metric = name;
+    row.current = cur.median;
+    row.better = cur.better;
+    row.verdict = cfg_.fail_on_new ? Verdict::Fail : Verdict::New;
+    row.note = "metric absent from baseline (refresh with --update-baseline)";
+    tally(row);
+  }
+  return res;
+}
+
+std::string GateResult::table() const {
+  std::string out;
+  char line[512];
+  std::snprintf(line, sizeof(line), "%-52s %12s %12s %8s %8s  %s\n", "metric", "baseline",
+                "current", "chg%", "allow%", "verdict");
+  out += line;
+  for (const GateRow& r : rows) {
+    std::snprintf(line, sizeof(line), "%-52s %12.4g %12.4g %+8.1f %8.1f  %-7s %s\n",
+                  r.metric.c_str(), r.baseline, r.current, r.change_pct, r.allowed_pct,
+                  to_string(r.verdict), r.note.c_str());
+    out += line;
+  }
+  std::snprintf(line, sizeof(line), "gate: %d pass, %d warn, %d fail, %d skip -> %s\n",
+                passes, warns, fails, skips, failed() ? "FAIL" : "OK");
+  out += line;
+  return out;
+}
+
+std::string GateResult::json() const {
+  JsonWriter w;
+  w.begin_object();
+  w.key("rows").begin_array();
+  for (const GateRow& r : rows) {
+    w.begin_object();
+    w.kv("metric", r.metric);
+    w.kv("baseline", r.baseline);
+    w.kv("current", r.current);
+    w.kv("change_pct", r.change_pct);
+    w.kv("allowed_pct", r.allowed_pct);
+    w.kv("better", to_string(r.better));
+    w.kv("verdict", to_string(r.verdict));
+    if (!r.note.empty()) w.kv("note", r.note);
+    w.end_object();
+  }
+  w.end_array();
+  w.kv("passes", passes);
+  w.kv("warns", warns);
+  w.kv("fails", fails);
+  w.kv("skips", skips);
+  w.kv("failed", failed());
+  w.end_object();
+  return w.take();
+}
+
+}  // namespace repro::obs

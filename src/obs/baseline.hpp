@@ -1,0 +1,152 @@
+// Benchmark baselines and noise-aware perf-regression gating.
+//
+// A baseline (`BENCH_<tag>.json`) is a set of named metrics, each summarized
+// as median-of-runs plus MAD (median absolute deviation) so later runs can be
+// judged against the committed number with the noise of the committing
+// machine taken into account. The RegressionGate compares a current run
+// against a baseline and emits a verdict table (pass / warn / fail per
+// metric) both human-readable and as JSON; the bench harness (`--baseline`,
+// `--update-baseline`, `--gate`) and the `bench_regress` driver are the
+// consumers. Exit-code convention: 3 on a failed gate, matching
+// `pfpl verify`'s "bound violated" code.
+//
+// Document schema (see docs/OBSERVABILITY.md):
+//   {
+//     "schema": "pfpl-bench-baseline/1",
+//     "tag": "baseline",
+//     "meta": { "...": "free-form strings (host, date, config)" },
+//     "metrics": {
+//       "<name>": { "median": 123.4, "mad": 1.2, "n": 3,
+//                   "better": "higher"|"lower", "unit": "MB/s",
+//                   "advisory": false }
+//     }
+//   }
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace repro::obs {
+
+/// Which direction of change is an improvement for a metric.
+enum class Better : u8 { Higher = 0, Lower = 1 };
+
+inline const char* to_string(Better b) { return b == Better::Higher ? "higher" : "lower"; }
+
+/// One metric's summary: median of the run samples plus their MAD.
+struct BaselineMetric {
+  double median = 0.0;
+  double mad = 0.0;   ///< median absolute deviation of the samples
+  u64 n = 0;          ///< number of (finite) samples summarized
+  Better better = Better::Higher;
+  std::string unit;   ///< informational ("MB/s", "x", "dB", "us")
+  /// Advisory metrics (latency quantiles estimated from coarse exponential
+  /// buckets) can warn but never fail the gate.
+  bool advisory = false;
+};
+
+/// A full baseline document.
+struct BaselineDoc {
+  static constexpr const char* kSchema = "pfpl-bench-baseline/1";
+
+  std::string tag = "baseline";
+  std::map<std::string, std::string> meta;
+  std::map<std::string, BaselineMetric> metrics;
+
+  std::string json() const;
+  /// Parse a document; throws CompressionError on malformed JSON or a
+  /// missing/mismatched "schema" marker.
+  static BaselineDoc from_json(const std::string& text);
+};
+
+/// Load/save BENCH_<tag>.json documents. Throws CompressionError on I/O or
+/// parse failure (a missing baseline file is an error the caller decides how
+/// to surface — the harness prints it and exits 1, tests assert the throw).
+class BaselineStore {
+ public:
+  static BaselineDoc load(const std::string& path);
+  static void save(const std::string& path, const BaselineDoc& doc);
+};
+
+/// Median of the samples (0 when empty). Takes a copy: nth_element reorders.
+double median_of(std::vector<double> xs);
+/// Median absolute deviation around the median (0 when fewer than 2 samples).
+double mad_of(const std::vector<double>& xs);
+
+/// Summarize raw run samples into a BaselineMetric. Non-finite samples are
+/// dropped (a NaN runtime must not poison the baseline); n reflects the
+/// samples actually used — n == 0 means nothing valid was measured and the
+/// gate will Skip the metric.
+BaselineMetric summarize_samples(const std::vector<double>& samples, Better better,
+                                 std::string unit = "", bool advisory = false);
+
+/// Per-metric gate outcome, ordered by severity.
+enum class Verdict : u8 {
+  Pass = 0,     ///< within tolerance (or improved)
+  New = 1,      ///< metric present now, absent from the baseline
+  Missing = 2,  ///< metric in the baseline, absent from the current run
+  Skip = 3,     ///< not judgeable (no valid samples on one side)
+  Warn = 4,     ///< degraded beyond warn_fraction of the allowance
+  Fail = 5,     ///< degraded beyond the allowance
+};
+
+const char* to_string(Verdict v);
+
+struct GateRow {
+  std::string metric;
+  double baseline = 0.0;
+  double current = 0.0;
+  double change_pct = 0.0;   ///< signed; positive means the value went up
+  double allowed_pct = 0.0;  ///< tolerated degradation for this metric
+  Better better = Better::Higher;
+  Verdict verdict = Verdict::Pass;
+  std::string note;          ///< why a non-Pass verdict was reached
+};
+
+struct GateConfig {
+  /// Base tolerated degradation in percent (throughput/ratio style metrics).
+  double pct = 25.0;
+  /// Warn once degradation exceeds warn_fraction * allowed.
+  double warn_fraction = 0.5;
+  /// Noise allowance: the tolerance is max(pct, mad_k * relative-MAD). With
+  /// MAD = 0 (all-identical runs, or single-sample metrics) this falls back
+  /// to the flat pct bound.
+  double mad_k = 4.0;
+  /// Escalate New / Missing metrics from informational to Fail.
+  bool fail_on_new = false;
+  bool fail_on_missing = false;
+};
+
+struct GateResult {
+  std::vector<GateRow> rows;  ///< baseline-key order; current-only rows last
+  int passes = 0, warns = 0, fails = 0, skips = 0;
+
+  bool failed() const { return fails > 0; }
+  /// Process exit code under the gate convention (3 = fail, 0 otherwise).
+  int exit_code() const { return failed() ? 3 : 0; }
+
+  /// Human-readable verdict table (one row per metric, summary line last).
+  std::string table() const;
+  /// {"rows":[{metric,baseline,current,change_pct,allowed_pct,verdict,...}],
+  ///  "passes":N,"warns":N,"fails":N,"skips":N}
+  std::string json() const;
+};
+
+/// Compare a current run against a baseline with noise-aware thresholds.
+class RegressionGate {
+ public:
+  explicit RegressionGate(GateConfig cfg = {}) : cfg_(cfg) {}
+
+  GateResult compare(const BaselineDoc& baseline,
+                     const std::map<std::string, BaselineMetric>& current) const;
+
+  const GateConfig& config() const { return cfg_; }
+
+ private:
+  GateConfig cfg_;
+};
+
+}  // namespace repro::obs

@@ -34,6 +34,38 @@ std::vector<u64> Histogram::bucket_counts() const {
   return out;
 }
 
+double Histogram::quantile(double q) const {
+  const u64 c = count();
+  if (c == 0) return 0.0;
+  q = std::min(std::max(q, 0.0), 1.0);
+  const double lo = static_cast<double>(min());
+  const double hi = static_cast<double>(max());
+  // Rank of the target sample, 1-based, clamped into [1, c].
+  u64 target = static_cast<u64>(q * static_cast<double>(c));
+  if (target < 1) target = 1;
+  if (target > c) target = c;
+  const std::vector<u64> counts = bucket_counts();
+  u64 cum = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) continue;
+    if (cum + counts[i] < target) {
+      cum += counts[i];
+      continue;
+    }
+    // Target sample lives in bucket i: interpolate between the bucket's
+    // bounds, clamped to the observed range (the first/last occupied bucket
+    // is typically only partially covered by real samples).
+    double b_lo = i == 0 ? lo : static_cast<double>(bounds_[i - 1]);
+    double b_hi = i < bounds_.size() ? static_cast<double>(bounds_[i]) : hi;
+    b_lo = std::max(b_lo, lo);
+    b_hi = std::min(std::max(b_hi, b_lo), hi);
+    const double frac =
+        static_cast<double>(target - cum) / static_cast<double>(counts[i]);
+    return b_lo + frac * (b_hi - b_lo);
+  }
+  return hi;  // unreachable when counts are consistent with count()
+}
+
 u64 Histogram::count() const {
   u64 t = 0;
   for (const auto& s : shards_) t += s.count.load(std::memory_order_relaxed);
@@ -97,6 +129,14 @@ Histogram& MetricsRegistry::histogram(const std::string& name, std::vector<u64> 
   return *slot;
 }
 
+std::vector<std::string> MetricsRegistry::histogram_names() const {
+  std::lock_guard<std::mutex> lk(m_);
+  std::vector<std::string> names;
+  names.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) names.push_back(name);
+  return names;
+}
+
 void MetricsRegistry::reset() {
   std::lock_guard<std::mutex> lk(m_);
   for (auto& [name, c] : counters_) c->reset();
@@ -123,7 +163,8 @@ std::string MetricsRegistry::text() const {
            std::to_string(h->sum());
     if (c)
       out += " min=" + std::to_string(h->min()) + " max=" + std::to_string(h->max()) +
-             " mean=" + std::to_string(h->mean());
+             " mean=" + std::to_string(h->mean()) + " p50=" + std::to_string(h->p50()) +
+             " p95=" + std::to_string(h->p95()) + " p99=" + std::to_string(h->p99());
     out += "\n";
   }
   return out;
@@ -154,6 +195,9 @@ std::string MetricsRegistry::json() const {
       w.kv("min", static_cast<unsigned long long>(h->min()));
       w.kv("max", static_cast<unsigned long long>(h->max()));
       w.kv("mean", h->mean());
+      w.kv("p50", h->p50());
+      w.kv("p95", h->p95());
+      w.kv("p99", h->p99());
     }
     w.key("bounds").begin_array();
     for (u64 b : h->bounds()) w.value(static_cast<unsigned long long>(b));

@@ -132,6 +132,16 @@ class Histogram {
 
   /// Merged bucket counts (size bounds().size() + 1, last = overflow).
   std::vector<u64> bucket_counts() const;
+  /// Quantile estimate for q in [0,1] by linear interpolation inside the
+  /// containing bucket, clamped to [min(), max()] so the estimate can never
+  /// leave the observed range. 0 when the histogram is empty. Exponential
+  /// buckets make this coarse in the tail — treat p95/p99 as indicative, not
+  /// exact (the RegressionGate marks quantile metrics advisory for this
+  /// reason).
+  double quantile(double q) const;
+  double p50() const { return quantile(0.50); }
+  double p95() const { return quantile(0.95); }
+  double p99() const { return quantile(0.99); }
   u64 count() const;
   u64 sum() const;
   u64 min() const;  ///< UINT64_MAX when empty
@@ -176,6 +186,10 @@ class MetricsRegistry {
   Gauge& gauge(const std::string& name);
   /// Get-or-create; `bounds` is only used on first creation.
   Histogram& histogram(const std::string& name, std::vector<u64> bounds = {});
+
+  /// Snapshot of the registered histogram names (sorted). For exporters that
+  /// want to walk histograms without parsing the JSON dump.
+  std::vector<std::string> histogram_names() const;
 
   /// Zero every metric (keeps registrations and references valid).
   void reset();

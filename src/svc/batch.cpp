@@ -7,6 +7,7 @@
 
 #include "common/timer.hpp"
 #include "core/chunked.hpp"
+#include "obs/audit.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "svc/thread_pool.hpp"
@@ -47,7 +48,8 @@ BatchCompressor::BatchCompressor() : BatchCompressor(Options{}) {}
 
 BatchCompressor::BatchCompressor(const Options& opts)
     : pool_(std::make_unique<ThreadPool>(opts.threads, opts.queue_capacity)),
-      max_inflight_bytes_(opts.max_inflight_bytes) {}
+      max_inflight_bytes_(opts.max_inflight_bytes),
+      audit_(opts.audit) {}
 
 BatchCompressor::~BatchCompressor() = default;
 
@@ -152,6 +154,25 @@ std::vector<JobResult> BatchCompressor::run(const std::vector<Job>& jobs) {
     stats_.bytes_out += results[j].stream.size();
   }
   stats_.assemble_ms = assemble_t.seconds() * 1e3;
+
+  // Phase 4 (optional) — audit: decompress each successful stream and
+  // re-verify every value against the job's bound with the shared auditor.
+  // A violation marks the result (and the svc.audit_violations counter) but
+  // is never thrown — the caller decides whether a tainted batch is fatal.
+  if (audit_) {
+    OBS_SPAN("svc.audit");
+    for (std::size_t j = 0; j < jobs.size(); ++j) {
+      if (results[j].failed) continue;
+      const std::vector<u8> raw = pfpl::decompress(results[j].stream, jobs[j].params.exec);
+      const obs::AuditCase ac = obs::ErrorBoundAuditor::verify_field(
+          jobs[j].field, raw, jobs[j].params.eb, jobs[j].params.eps, "svc",
+          jobs[j].name, /*seed=*/0, results[j].stream.size());
+      results[j].audited = true;
+      results[j].audit_violations = ac.violations;
+      ++stats_.jobs_audited;
+      stats_.audit_violations += ac.violations;
+    }
+  }
 
   const ThreadPool::Counters after = pool_->counters();
   stats_.tasks_stolen = after.stolen - before.stolen;

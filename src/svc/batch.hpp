@@ -43,6 +43,8 @@ struct JobResult {
   u64 raw_bytes = 0;
   bool failed = false;
   std::string error;      ///< CompressionError text when failed
+  bool audited = false;        ///< true when Options::audit re-verified this job
+  u64 audit_violations = 0;    ///< bound violations the audit found (0 when clean)
 };
 
 class BatchCompressor {
@@ -51,6 +53,12 @@ class BatchCompressor {
     unsigned threads = 0;                            ///< 0 = hardware concurrency
     std::size_t max_inflight_bytes = 256u << 20;     ///< chunk-admission budget
     std::size_t queue_capacity = 4096;               ///< pool's bounded queue
+    /// Re-verify every successful job after assembly: decompress the stream
+    /// and check each value against the job's bound with the same
+    /// obs::ErrorBoundAuditor the audit sweep uses. Costs a decompress pass
+    /// per job; violations land in JobResult::audit_violations and
+    /// SvcStats::audit_violations, never thrown.
+    bool audit = false;
   };
 
   BatchCompressor();  // default Options
@@ -72,6 +80,7 @@ class BatchCompressor {
  private:
   std::unique_ptr<ThreadPool> pool_;
   std::size_t max_inflight_bytes_;
+  bool audit_ = false;
   SvcStats stats_;
 };
 

@@ -26,6 +26,8 @@ struct SvcStats {
   u64 bytes_out = 0;       ///< compressed stream bytes across all jobs
   u64 tasks_stolen = 0;    ///< pool tasks taken by work stealing
   u64 peak_queue_depth = 0;
+  u64 jobs_audited = 0;       ///< jobs re-verified by the error-bound auditor
+  u64 audit_violations = 0;   ///< bound violations the audit hook caught
   unsigned threads = 0;
   double plan_ms = 0;      ///< header planning (incl. NOA range reduction)
   double encode_ms = 0;    ///< submit-to-last-chunk wall time
@@ -51,6 +53,9 @@ struct SvcStats {
     // expression, and one refactor away from a dangling pointer.)
     std::string failed_part;
     if (jobs_failed) failed_part = " failed=" + std::to_string(jobs_failed);
+    if (jobs_audited)
+      failed_part += " audited=" + std::to_string(jobs_audited) +
+                     " audit_viol=" + std::to_string(audit_violations);
     char buf[320];
     std::snprintf(buf, sizeof(buf),
                   "svc: jobs=%llu%s chunks=%llu in=%.1fMB out=%.1fMB ratio=%.2f "
@@ -76,6 +81,8 @@ struct SvcStats {
     w.kv("bytes_out", static_cast<unsigned long long>(bytes_out));
     w.kv("tasks_stolen", static_cast<unsigned long long>(tasks_stolen));
     w.kv("peak_queue_depth", static_cast<unsigned long long>(peak_queue_depth));
+    w.kv("jobs_audited", static_cast<unsigned long long>(jobs_audited));
+    w.kv("audit_violations", static_cast<unsigned long long>(audit_violations));
     w.kv("threads", threads);
     w.kv("plan_ms", plan_ms);
     w.kv("encode_ms", encode_ms);
@@ -96,6 +103,8 @@ struct SvcStats {
     r.counter("svc.chunks").add(chunks);
     r.counter("svc.bytes_in").add(bytes_in);
     r.counter("svc.bytes_out").add(bytes_out);
+    r.counter("svc.jobs_audited").add(jobs_audited);
+    r.counter("svc.audit_violations").add(audit_violations);
     r.gauge("svc.peak_queue_depth").set(static_cast<long long>(peak_queue_depth));
     r.histogram("svc.plan_us").record(static_cast<u64>(plan_ms * 1e3));
     r.histogram("svc.encode_us").record(static_cast<u64>(encode_ms * 1e3));

@@ -1,0 +1,271 @@
+// Baseline store + regression gate: summaries, verdict logic, document
+// round-trips, and a golden parse-back of the committed BENCH_baseline.json.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+
+#include "obs/baseline.hpp"
+#include "obs/json.hpp"
+
+using namespace repro;
+using namespace repro::obs;
+
+namespace {
+
+/// Unique temp path per test (no collisions under ctest -j).
+std::string tmp_path(const char* stem) {
+  return (std::filesystem::temp_directory_path() /
+          (std::string(stem) + "." + std::to_string(::getpid()) + ".json"))
+      .string();
+}
+
+BaselineMetric metric(double median, double mad, u64 n = 3,
+                      Better better = Better::Higher, bool advisory = false) {
+  BaselineMetric m;
+  m.median = median;
+  m.mad = mad;
+  m.n = n;
+  m.better = better;
+  m.advisory = advisory;
+  return m;
+}
+
+const GateRow* find_row(const GateResult& res, const std::string& name) {
+  for (const GateRow& r : res.rows)
+    if (r.metric == name) return &r;
+  return nullptr;
+}
+
+}  // namespace
+
+TEST(Baseline, MedianAndMad) {
+  EXPECT_EQ(median_of({}), 0.0);
+  EXPECT_EQ(median_of({7.0}), 7.0);
+  EXPECT_EQ(median_of({3.0, 1.0, 2.0}), 2.0);
+  EXPECT_EQ(median_of({4.0, 1.0, 3.0, 2.0}), 2.5);  // even count: midpoint
+  EXPECT_EQ(mad_of({5.0}), 0.0);
+  // {1,2,3,4,100}: median 3, |x-3| = {2,1,0,1,97}, MAD 1 — outlier-robust.
+  EXPECT_EQ(mad_of({1.0, 2.0, 3.0, 4.0, 100.0}), 1.0);
+}
+
+TEST(Baseline, SummarizeDropsNonFiniteSamples) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  BaselineMetric m = summarize_samples({10.0, nan, 12.0, inf, 11.0}, Better::Higher, "MB/s");
+  EXPECT_EQ(m.n, 3u);
+  EXPECT_EQ(m.median, 11.0);
+  EXPECT_TRUE(std::isfinite(m.mad));
+  EXPECT_EQ(m.unit, "MB/s");
+
+  BaselineMetric empty = summarize_samples({nan, nan}, Better::Lower);
+  EXPECT_EQ(empty.n, 0u);  // nothing valid measured -> gate will Skip
+}
+
+TEST(Baseline, DocJsonRoundTrip) {
+  BaselineDoc doc;
+  doc.tag = "test";
+  doc.meta["host"] = "ci";
+  doc.metrics["a/ratio"] = metric(5.25, 0.125, 3, Better::Higher);
+  doc.metrics["a/violations"] = metric(0.0, 0.0, 1, Better::Lower);
+  doc.metrics["hist/x/p99"] = metric(250.0, 10.0, 5, Better::Lower, /*advisory=*/true);
+
+  BaselineDoc back = BaselineDoc::from_json(doc.json());
+  EXPECT_EQ(back.tag, "test");
+  EXPECT_EQ(back.meta.at("host"), "ci");
+  ASSERT_EQ(back.metrics.size(), 3u);
+  EXPECT_EQ(back.metrics.at("a/ratio").median, 5.25);
+  EXPECT_EQ(back.metrics.at("a/ratio").mad, 0.125);
+  EXPECT_EQ(back.metrics.at("a/ratio").better, Better::Higher);
+  EXPECT_EQ(back.metrics.at("a/violations").better, Better::Lower);
+  EXPECT_TRUE(back.metrics.at("hist/x/p99").advisory);
+  EXPECT_FALSE(back.metrics.at("a/ratio").advisory);
+}
+
+TEST(Baseline, FromJsonRejectsBadDocuments) {
+  EXPECT_THROW(BaselineDoc::from_json("not json"), CompressionError);
+  EXPECT_THROW(BaselineDoc::from_json("{}"), CompressionError);  // no schema marker
+  EXPECT_THROW(BaselineDoc::from_json(R"({"schema":"other/9","metrics":{}})"),
+               CompressionError);
+}
+
+TEST(Baseline, StoreSaveLoadAndMissingFile) {
+  const std::string path = tmp_path("pfpl_baseline_roundtrip");
+  BaselineDoc doc;
+  doc.metrics["m"] = metric(1.0, 0.0, 1);
+  BaselineStore::save(path, doc);
+  BaselineDoc back = BaselineStore::load(path);
+  EXPECT_EQ(back.metrics.size(), 1u);
+  std::filesystem::remove(path);
+
+  EXPECT_THROW(BaselineStore::load(path), CompressionError);  // now missing
+
+  // Empty file: present but unparseable.
+  { std::ofstream(path).close(); }
+  EXPECT_THROW(BaselineStore::load(path), CompressionError);
+  std::filesystem::remove(path);
+}
+
+TEST(Gate, PassWarnFailBothDirections) {
+  BaselineDoc base;
+  base.metrics["thr"] = metric(100.0, 0.0, 3, Better::Higher);
+  base.metrics["lat"] = metric(100.0, 0.0, 3, Better::Lower);
+  GateConfig cfg;
+  cfg.pct = 20.0;
+  cfg.warn_fraction = 0.5;
+  RegressionGate gate(cfg);
+
+  auto run = [&](double thr, double lat) {
+    std::map<std::string, BaselineMetric> cur;
+    cur["thr"] = metric(thr, 0.0, 3, Better::Higher);
+    cur["lat"] = metric(lat, 0.0, 3, Better::Lower);
+    return gate.compare(base, cur);
+  };
+
+  // Small drift (5% < half the 20% allowance) passes; improvement passes.
+  GateResult ok = run(95.0, 95.0);
+  EXPECT_EQ(find_row(ok, "thr")->verdict, Verdict::Pass);
+  EXPECT_EQ(find_row(ok, "lat")->verdict, Verdict::Pass);
+  EXPECT_FALSE(ok.failed());
+  EXPECT_EQ(ok.exit_code(), 0);
+
+  // 15% degradation: beyond warn_fraction * 20% but under 20% -> Warn.
+  // Higher-better degrades downward, lower-better degrades upward.
+  GateResult warn = run(85.0, 115.0);
+  EXPECT_EQ(find_row(warn, "thr")->verdict, Verdict::Warn);
+  EXPECT_EQ(find_row(warn, "lat")->verdict, Verdict::Warn);
+  EXPECT_FALSE(warn.failed());
+
+  // 30% degradation on both -> Fail, exit 3. A 30% *improvement* on the
+  // other axis must not fail (run each direction separately).
+  GateResult fail_thr = run(70.0, 70.0);
+  EXPECT_EQ(find_row(fail_thr, "thr")->verdict, Verdict::Fail);
+  EXPECT_EQ(find_row(fail_thr, "lat")->verdict, Verdict::Pass);  // latency improved
+  GateResult fail_lat = run(130.0, 130.0);
+  EXPECT_EQ(find_row(fail_lat, "thr")->verdict, Verdict::Pass);  // throughput improved
+  EXPECT_EQ(find_row(fail_lat, "lat")->verdict, Verdict::Fail);
+  EXPECT_TRUE(fail_lat.failed());
+  EXPECT_EQ(fail_lat.exit_code(), 3);
+}
+
+TEST(Gate, MadWidensTheAllowance) {
+  // Noisy metric: relative MAD 10%, mad_k 4 -> 40% allowance beats pct=20.
+  BaselineDoc base;
+  base.metrics["noisy"] = metric(100.0, 10.0, 5, Better::Higher);
+  base.metrics["quiet"] = metric(100.0, 0.0, 5, Better::Higher);
+  GateConfig cfg;
+  cfg.pct = 20.0;
+  cfg.mad_k = 4.0;
+  RegressionGate gate(cfg);
+
+  std::map<std::string, BaselineMetric> cur;
+  cur["noisy"] = metric(65.0, 10.0, 5, Better::Higher);  // -35%: inside 40%
+  cur["quiet"] = metric(65.0, 0.0, 5, Better::Higher);   // -35%: beyond flat 20%
+  GateResult res = gate.compare(base, cur);
+  EXPECT_NE(find_row(res, "noisy")->verdict, Verdict::Fail);
+  EXPECT_DOUBLE_EQ(find_row(res, "noisy")->allowed_pct, 40.0);
+  EXPECT_EQ(find_row(res, "quiet")->verdict, Verdict::Fail);  // MAD=0 -> flat pct
+  EXPECT_DOUBLE_EQ(find_row(res, "quiet")->allowed_pct, 20.0);
+}
+
+TEST(Gate, ZeroBaselineLowerBetterFailsOnAnyIncrease) {
+  // The "zero bound violations" invariant: baseline 0, lower-better, any
+  // increase fails regardless of pct (a percent of zero is meaningless).
+  BaselineDoc base;
+  base.metrics["violations"] = metric(0.0, 0.0, 1, Better::Lower);
+  RegressionGate gate;  // default pct=25
+
+  std::map<std::string, BaselineMetric> clean, dirty;
+  clean["violations"] = metric(0.0, 0.0, 1, Better::Lower);
+  dirty["violations"] = metric(1.0, 0.0, 1, Better::Lower);
+  EXPECT_EQ(find_row(gate.compare(base, clean), "violations")->verdict, Verdict::Pass);
+  GateResult res = gate.compare(base, dirty);
+  EXPECT_EQ(find_row(res, "violations")->verdict, Verdict::Fail);
+  EXPECT_EQ(res.exit_code(), 3);
+}
+
+TEST(Gate, AdvisoryMetricsWarnButNeverFail) {
+  BaselineDoc base;
+  base.metrics["hist/enc/p99"] = metric(100.0, 0.0, 1, Better::Lower, /*advisory=*/true);
+  std::map<std::string, BaselineMetric> cur;
+  cur["hist/enc/p99"] = metric(400.0, 0.0, 1, Better::Lower, /*advisory=*/true);
+  GateResult res = RegressionGate().compare(base, cur);  // +300%, way past pct
+  EXPECT_EQ(find_row(res, "hist/enc/p99")->verdict, Verdict::Warn);
+  EXPECT_FALSE(res.failed());
+}
+
+TEST(Gate, NewMissingAndSkipVerdicts) {
+  BaselineDoc base;
+  base.metrics["gone"] = metric(1.0, 0.0, 3);
+  base.metrics["nan"] = metric(1.0, 0.0, 3);
+  base.metrics["unmeasured"] = metric(1.0, 0.0, 0);  // n == 0: nothing valid
+  std::map<std::string, BaselineMetric> cur;
+  cur["nan"] = metric(std::numeric_limits<double>::quiet_NaN(), 0.0, 3);
+  cur["unmeasured"] = metric(1.0, 0.0, 3);
+  cur["fresh"] = metric(2.0, 0.0, 3);
+  GateResult res = RegressionGate().compare(base, cur);
+  EXPECT_EQ(find_row(res, "gone")->verdict, Verdict::Missing);
+  EXPECT_EQ(find_row(res, "nan")->verdict, Verdict::Skip);        // NaN current
+  EXPECT_EQ(find_row(res, "unmeasured")->verdict, Verdict::Skip); // n==0 baseline
+  EXPECT_EQ(find_row(res, "fresh")->verdict, Verdict::New);
+  EXPECT_FALSE(res.failed());  // informational by default...
+
+  GateConfig strict;
+  strict.fail_on_new = true;
+  strict.fail_on_missing = true;
+  GateResult hard = RegressionGate(strict).compare(base, cur);
+  EXPECT_EQ(find_row(hard, "gone")->verdict, Verdict::Fail);
+  EXPECT_EQ(find_row(hard, "fresh")->verdict, Verdict::Fail);  // ...unless escalated
+}
+
+TEST(Gate, ResultJsonParsesAndTallies) {
+  BaselineDoc base;
+  base.metrics["a"] = metric(100.0, 0.0, 3);
+  base.metrics["b"] = metric(100.0, 0.0, 3);
+  std::map<std::string, BaselineMetric> cur;
+  cur["a"] = metric(100.0, 0.0, 3);
+  cur["b"] = metric(10.0, 0.0, 3);  // -90%: fail
+  GateResult res = RegressionGate().compare(base, cur);
+  EXPECT_EQ(res.passes, 1);
+  EXPECT_EQ(res.fails, 1);
+
+  JsonValue v = parse_json(res.json());
+  ASSERT_TRUE(v.is_object());
+  ASSERT_TRUE(v.at("rows").is_array());
+  EXPECT_EQ(v.at("rows").arr.size(), 2u);
+  EXPECT_EQ(v.at("fails").num, 1.0);
+  bool saw_fail = false;
+  for (const JsonValue& row : v.at("rows").arr)
+    if (row.at("verdict").str == "fail") saw_fail = true;
+  EXPECT_TRUE(saw_fail);
+  // Human table mentions every metric and the summary line.
+  std::string table = res.table();
+  EXPECT_NE(table.find("a"), std::string::npos);
+  EXPECT_NE(table.find("fail"), std::string::npos);
+}
+
+TEST(Gate, CommittedBaselineGolden) {
+  // The committed BENCH_baseline.json must stay loadable with sane contents —
+  // this is the file CI gates against.
+  const std::string path = std::string(REPRO_SOURCE_DIR) + "/BENCH_baseline.json";
+  BaselineDoc doc = BaselineStore::load(path);
+  EXPECT_FALSE(doc.metrics.empty());
+  bool saw_violations = false;
+  for (const auto& [name, m] : doc.metrics) {
+    EXPECT_TRUE(std::isfinite(m.median)) << name;
+    EXPECT_TRUE(std::isfinite(m.mad)) << name;
+    if (name.find("/violations") != std::string::npos) {
+      saw_violations = true;
+      EXPECT_EQ(m.median, 0.0) << name;  // zero-violations invariant
+      EXPECT_EQ(m.better, Better::Lower) << name;
+    }
+  }
+  EXPECT_TRUE(saw_violations);
+  // Comparing the baseline against itself is all-Pass by construction.
+  GateResult self = RegressionGate().compare(doc, doc.metrics);
+  EXPECT_FALSE(self.failed());
+  EXPECT_EQ(self.warns, 0);
+}

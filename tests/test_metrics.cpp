@@ -21,10 +21,29 @@ TEST(Stats, PerfectReconstruction) {
   EXPECT_EQ(s.max_abs, 0.0);
   EXPECT_EQ(s.max_rel, 0.0);
   EXPECT_EQ(s.mse, 0.0);
-  EXPECT_TRUE(std::isinf(s.psnr));
+  EXPECT_EQ(s.psnr, kPsnrCapDb);  // finite cap, not +inf: JSON-safe
   EXPECT_EQ(s.value_range, 4.0);
+  EXPECT_FALSE(s.zero_range);
   EXPECT_EQ(s.sign_flips, 0u);
   EXPECT_EQ(s.nonfinite_mismatches, 0u);
+}
+
+TEST(Stats, ZeroRangeFieldReportsFinitePsnr) {
+  // A constant field has no range, so range-based PSNR is undefined; the old
+  // behavior reported +inf even with MSE > 0, masking real error. Now the
+  // degenerate case is explicit (zero_range) and PSNR stays finite.
+  std::vector<float> o{2.5f, 2.5f, 2.5f, 2.5f};
+  std::vector<float> bad{2.5f, 3.5f, 2.5f, 2.5f};
+  auto s = compute_stats(std::span<const float>(o), std::span<const float>(bad));
+  EXPECT_TRUE(s.zero_range);
+  EXPECT_GT(s.mse, 0.0);
+  EXPECT_EQ(s.psnr, 0.0);
+  EXPECT_TRUE(std::isfinite(s.psnr));
+
+  // Constant field reconstructed exactly: still finite, reports the cap.
+  auto s2 = compute_stats(std::span<const float>(o), std::span<const float>(o));
+  EXPECT_TRUE(s2.zero_range);
+  EXPECT_EQ(s2.psnr, kPsnrCapDb);
 }
 
 TEST(Stats, KnownErrors) {

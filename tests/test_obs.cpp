@@ -110,6 +110,46 @@ TEST(ObsMetrics, HistogramBucketBoundaries) {
   EXPECT_DOUBLE_EQ(h.mean(), 5126.0 / 5.0);
 }
 
+TEST(ObsMetrics, HistogramQuantiles) {
+  ObsGuard guard(true);
+  obs::Histogram empty({10, 100});
+  EXPECT_EQ(empty.quantile(0.5), 0.0);  // no samples, nothing to estimate
+
+  // All-identical samples: the interpolation clamps to the observed range,
+  // so every quantile is exactly the value.
+  obs::Histogram flat({10, 100});
+  for (int i = 0; i < 100; ++i) flat.record(7);
+  EXPECT_EQ(flat.p50(), 7.0);
+  EXPECT_EQ(flat.p95(), 7.0);
+  EXPECT_EQ(flat.p99(), 7.0);
+
+  // Bimodal: 50 samples at 5 (bucket <=10), 50 at 500 (bucket 100..1000,
+  // clamped above by max=500). The estimates interpolate within the bucket
+  // that holds the target rank.
+  obs::Histogram h({10, 100, 1000});
+  for (int i = 0; i < 50; ++i) h.record(5);
+  for (int i = 0; i < 50; ++i) h.record(500);
+  EXPECT_DOUBLE_EQ(h.p50(), 10.0);   // rank 50 = last sample of bucket 0
+  EXPECT_DOUBLE_EQ(h.p95(), 460.0);  // 100 + 0.9 * (500 - 100)
+  EXPECT_DOUBLE_EQ(h.p99(), 492.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 500.0);  // == max()
+  // Monotone in q and bounded by the observed range.
+  double prev = h.quantile(0.0);
+  EXPECT_GE(prev, 5.0);
+  for (double q : {0.25, 0.5, 0.75, 0.9, 0.99, 1.0}) {
+    const double v = h.quantile(q);
+    EXPECT_GE(v, prev);
+    EXPECT_LE(v, 500.0);
+    prev = v;
+  }
+
+  // The registry JSON exposes the quantiles (only once populated).
+  obs::MetricsRegistry reg;
+  reg.histogram("lat_us", {10, 100}).record(42);
+  obs::JsonValue v = obs::parse_json(reg.json());
+  EXPECT_TRUE(v.at("histograms").at("lat_us").has("p99"));
+}
+
 TEST(ObsMetrics, HistogramRejectsNonIncreasingBounds) {
   EXPECT_THROW(obs::Histogram({10, 10}), std::invalid_argument);
   EXPECT_THROW(obs::Histogram({10, 5}), std::invalid_argument);
