@@ -1,0 +1,244 @@
+// bench_net_loadgen — PFPN/1 load generator and round-trip checker.
+//
+// Spins up an in-process net::Server (or targets an external one via
+// --host H:P), then hammers it with N concurrent clients issuing a mixed
+// COMPRESS/DECOMPRESS workload across every dtype x {ABS,REL,NOA}
+// combination. Every response is checked for byte-identity against the
+// local pfpl::compress / pfpl::decompress result, so the bench doubles as
+// the acceptance test for "the wire adds nothing and loses nothing".
+//
+//   bench_net_loadgen                          # 8 clients x 16 requests
+//   bench_net_loadgen --clients 16 --requests 64 --values 65536
+//   bench_net_loadgen --host 127.0.0.1:19777   # external server
+//   bench_net_loadgen --update-baseline --baseline BENCH_net_baseline.json
+//
+// Harness flags (--json/--baseline/--update-baseline/--gate) apply; the
+// baseline rows carry throughput, and the "_us" histogram quantiles
+// (net.client.request_us, net.request_us, ...) ride along as advisory
+// metrics via the harness's automatic histogram capture.
+//
+// Exit codes: 0 ok, 1 protocol error or byte mismatch, 3 failed --gate.
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/pfpl.hpp"
+#include "harness.hpp"
+#include "net/client.hpp"
+#include "net/server.hpp"
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+
+using namespace repro;
+
+namespace {
+
+struct LoadCfg {
+  unsigned clients = 8;
+  unsigned requests = 16;       ///< per client
+  std::size_t values = 16384;   ///< scalars per request
+  std::string host;             ///< empty = in-process server
+};
+
+LoadCfg parse_load_flags(int argc, char** argv) {
+  LoadCfg cfg;
+  for (int i = 1; i < argc; ++i) {
+    std::string a = argv[i];
+    auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : "0"; };
+    if (a == "--clients") cfg.clients = static_cast<unsigned>(std::atoi(next()));
+    else if (a == "--requests") cfg.requests = static_cast<unsigned>(std::atoi(next()));
+    else if (a == "--values") cfg.values = std::strtoull(next(), nullptr, 10);
+    else if (a == "--host") cfg.host = next();
+  }
+  if (cfg.clients == 0) cfg.clients = 1;
+  if (cfg.requests == 0) cfg.requests = 1;
+  return cfg;
+}
+
+/// Deterministic per-client test signal (smooth + a little structure so the
+/// compressor has something to chew on).
+template <class T>
+std::vector<T> make_signal(std::size_t n, unsigned seed) {
+  std::vector<T> v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double x = static_cast<double>(i) * 0.001 + seed * 0.37;
+    v[i] = static_cast<T>(std::sin(x) * 100.0 + std::cos(3.0 * x) + seed);
+  }
+  return v;
+}
+
+struct WorkerResult {
+  u64 requests = 0;
+  u64 errors = 0;       ///< protocol errors + byte mismatches
+  u64 raw_bytes = 0;    ///< uncompressed bytes moved through COMPRESS
+  u64 comp_bytes = 0;   ///< compressed bytes produced
+  double compress_s = 0;
+  double decompress_s = 0;
+  u64 reconnects = 0;
+};
+
+/// One client's workload: rotate through dtype x eb combinations, compress
+/// remotely, check against the local stream, decompress remotely, check
+/// against the local reconstruction.
+WorkerResult run_client(const LoadCfg& cfg, const std::string& host, u16 port,
+                        unsigned id) {
+  using clock = std::chrono::steady_clock;
+  WorkerResult r;
+  net::Client::Options copts;
+  copts.host = host;
+  copts.port = port;
+  net::Client client(copts);
+
+  const std::vector<float> f32 = make_signal<float>(cfg.values, id);
+  const std::vector<double> f64 = make_signal<double>(cfg.values, id);
+
+  static constexpr EbType kEbs[] = {EbType::ABS, EbType::REL, EbType::NOA};
+  static constexpr double kEps[] = {1e-2, 1e-3, 1e-4};
+
+  for (unsigned q = 0; q < cfg.requests; ++q) {
+    const DType dtype = ((id + q) % 2) ? DType::F64 : DType::F32;
+    const EbType eb = kEbs[(id + q) % 3];
+    const double eps = kEps[q % 3];
+    const void* raw = dtype == DType::F32 ? static_cast<const void*>(f32.data())
+                                          : static_cast<const void*>(f64.data());
+    const std::size_t raw_n = cfg.values * dtype_size(dtype);
+    try {
+      pfpl::Params params;
+      params.eb = eb;
+      params.eps = eps;
+      const Field field = dtype == DType::F32 ? Field(f32.data(), f32.size())
+                                              : Field(f64.data(), f64.size());
+      const Bytes local = pfpl::compress(field, params);
+
+      auto t0 = clock::now();
+      const Bytes remote = client.compress(raw, raw_n, dtype, eb, eps);
+      r.compress_s += std::chrono::duration<double>(clock::now() - t0).count();
+      ++r.requests;
+      r.raw_bytes += raw_n;
+      r.comp_bytes += remote.size();
+      if (remote != local) {
+        std::fprintf(stderr,
+                     "loadgen: client %u req %u: remote COMPRESS differs from "
+                     "local pfpl::compress (%zu vs %zu bytes)\n",
+                     id, q, remote.size(), local.size());
+        ++r.errors;
+        continue;
+      }
+
+      t0 = clock::now();
+      const std::vector<u8> back = client.decompress(remote);
+      r.decompress_s += std::chrono::duration<double>(clock::now() - t0).count();
+      ++r.requests;
+      const std::vector<u8> local_back = pfpl::decompress(local);
+      if (back != local_back) {
+        std::fprintf(stderr,
+                     "loadgen: client %u req %u: remote DECOMPRESS differs from "
+                     "local pfpl::decompress\n",
+                     id, q);
+        ++r.errors;
+      }
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "loadgen: client %u req %u: %s\n", id, q, e.what());
+      ++r.errors;
+    }
+  }
+  r.reconnects = client.reconnects();
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::SweepConfig base;
+  bench::SweepConfig sweep = bench::parse_args(argc, argv, base);
+  (void)sweep;
+  const LoadCfg cfg = parse_load_flags(argc, argv);
+  // The whole point is the latency histograms; record them even without
+  // --json/--baseline.
+  obs::set_enabled(true);
+
+  std::unique_ptr<net::Server> server;
+  std::thread server_thread;
+  std::string host = "127.0.0.1";
+  u16 port = 0;
+  if (cfg.host.empty()) {
+    net::Server::Options sopts;
+    server = std::make_unique<net::Server>(sopts);
+    port = server->port();
+    server_thread = std::thread([&] { server->run(); });
+  } else {
+    net::split_host_port(cfg.host, host, port);
+  }
+  std::fprintf(stderr, "loadgen: %u clients x %u requests x %zu values -> %s:%u%s\n",
+               cfg.clients, cfg.requests, cfg.values, host.c_str(),
+               static_cast<unsigned>(port),
+               server ? " (in-process server)" : "");
+
+  std::vector<WorkerResult> results(cfg.clients);
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(cfg.clients);
+    for (unsigned c = 0; c < cfg.clients; ++c)
+      threads.emplace_back(
+          [&, c] { results[c] = run_client(cfg, host, port, c); });
+    for (auto& t : threads) t.join();
+  }
+
+  WorkerResult total;
+  for (const WorkerResult& r : results) {
+    total.requests += r.requests;
+    total.errors += r.errors;
+    total.raw_bytes += r.raw_bytes;
+    total.comp_bytes += r.comp_bytes;
+    total.compress_s += r.compress_s;
+    total.decompress_s += r.decompress_s;
+    total.reconnects += r.reconnects;
+  }
+
+  if (server) {
+    server->request_stop();
+    server_thread.join();
+    obs::RunReport::global().add_section("net", server->stats_json());
+    const net::Server::Stats st = server->stats();
+    std::fprintf(stderr,
+                 "loadgen: server: %llu conns, %llu frames rx, %llu errors, "
+                 "peak inflight %llu bytes\n",
+                 static_cast<unsigned long long>(st.connections_accepted),
+                 static_cast<unsigned long long>(st.frames_rx),
+                 static_cast<unsigned long long>(st.errors),
+                 static_cast<unsigned long long>(st.peak_inflight_bytes));
+  }
+
+  const double mb = 1024.0 * 1024.0;
+  bench::Row row;
+  row.compressor = server ? "PFPN_loopback" : "PFPN_remote";
+  row.eb = 0;
+  row.ratio = total.comp_bytes
+                  ? static_cast<double>(total.raw_bytes) / total.comp_bytes
+                  : 0.0;
+  // Wire throughput: uncompressed MB moved per second of client-observed
+  // request latency, summed across clients (concurrency makes this an
+  // aggregate service rate, not a per-connection rate).
+  row.comp_mbps = total.compress_s > 0 ? total.raw_bytes / mb / total.compress_s : 0.0;
+  row.decomp_mbps =
+      total.decompress_s > 0 ? total.raw_bytes / mb / total.decompress_s : 0.0;
+  row.violations = static_cast<std::size_t>(total.errors);
+  bench::print_rows("net_loadgen", {row});
+
+  std::fprintf(stderr,
+               "loadgen: %llu requests, %llu errors, %llu reconnects, "
+               "compress %.1f MB/s, decompress %.1f MB/s\n",
+               static_cast<unsigned long long>(total.requests),
+               static_cast<unsigned long long>(total.errors),
+               static_cast<unsigned long long>(total.reconnects), row.comp_mbps,
+               row.decomp_mbps);
+
+  const int gate_rc = bench::finish();
+  if (total.errors) return 1;
+  return gate_rc;
+}

@@ -20,6 +20,15 @@
 //   sweeps the synthetic suites through compress -> decompress and re-checks
 //   every reconstructed value; exits 3 if any bound violation is found.
 //
+// PFPN/1 network service (src/net):
+//   pfpl serve [--port N] [--bind ADDR] [--threads N] [--max-inflight BYTES]
+//        [--exec serial|omp|gpusim]
+//   runs the pfpld compression server until SIGINT/SIGTERM or a SHUTDOWN
+//   frame, then drains gracefully.
+//   pfpl remote compress <in.raw> <out.pfpl> --host H:P --dtype ... --eb ... --eps ...
+//   pfpl remote decompress <in.pfpl> <out.raw> --host H:P
+//   pfpl remote stats|ping|shutdown --host H:P [--timeout-ms N]
+//
 // Observability (valid on every verb, parsed before dispatch):
 //   --trace FILE    record spans and write a Chrome trace_event JSON
 //                   (chrome://tracing / Perfetto loadable)
@@ -28,6 +37,7 @@
 //
 // Exit codes: 0 ok, 1 error (bad/corrupt input, I/O failure), 2 usage,
 // 3 verify/audit found a bound violation.
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -36,6 +46,8 @@
 
 #include "core/pfpl.hpp"
 #include "io/raw_file.hpp"
+#include "net/client.hpp"
+#include "net/server.hpp"
 #include "metrics/error_stats.hpp"
 #include "obs/audit.hpp"
 #include "obs/json.hpp"
@@ -65,6 +77,12 @@ namespace {
                "  pfpl stats <in.pfpa|in.pfpl> [--json]\n"
                "  pfpl audit [--full] [--json] [--suite NAME] [--dtype f32|f64]\n"
                "       [--eb abs|rel|noa] [--eps <e>] [--exec serial|omp|gpusim]\n"
+               "  pfpl serve [--port N] [--bind ADDR] [--threads N]\n"
+               "       [--max-inflight BYTES] [--exec serial|omp|gpusim]\n"
+               "  pfpl remote compress <in.raw> <out.pfpl> --host H:P --dtype f32|f64\n"
+               "       --eb abs|rel|noa --eps <e>\n"
+               "  pfpl remote decompress <in.pfpl> <out.raw> --host H:P\n"
+               "  pfpl remote stats|ping|shutdown --host H:P [--timeout-ms N]\n"
                "observability (any verb): --trace FILE  --metrics  --report FILE\n");
   std::exit(2);
 }
@@ -138,6 +156,12 @@ struct Flags {
   // `pfpl audit` narrows its sweep only along axes the user actually set,
   // so remember which of the shared flags were explicit.
   bool dtype_set = false, eb_set = false, eps_set = false;
+  // Network verbs (`pfpl serve` / `pfpl remote`).
+  std::string host;                 ///< `pfpl remote --host H:P`
+  std::string bind = "127.0.0.1";   ///< `pfpl serve --bind ADDR`
+  unsigned port = 0;                ///< `pfpl serve --port N` (0 = ephemeral)
+  std::size_t max_inflight = 0;     ///< `pfpl serve --max-inflight BYTES` (0 = default)
+  int timeout_ms = 0;               ///< `pfpl remote --timeout-ms N` (0 = default)
 };
 
 /// Parse `--flag value` pairs from argv[first..); non-flag arguments are
@@ -196,6 +220,33 @@ Flags parse_flags(int argc, char** argv, int first, std::vector<std::string>* po
       }
     } else if (a == "--entry") {
       fl.entry = need("--entry");
+    } else if (a == "--host") {
+      fl.host = need("--host");
+    } else if (a == "--bind") {
+      fl.bind = need("--bind");
+    } else if (a == "--port") {
+      std::string v = need("--port");
+      try {
+        unsigned long p = std::stoul(v);
+        if (p > 65535) throw CompressionError("");
+        fl.port = static_cast<unsigned>(p);
+      } catch (const std::exception&) {
+        throw CompressionError("invalid value for --port: '" + v + "'");
+      }
+    } else if (a == "--max-inflight") {
+      std::string v = need("--max-inflight");
+      try {
+        fl.max_inflight = static_cast<std::size_t>(std::stoull(v));
+      } catch (const std::exception&) {
+        throw CompressionError("invalid value for --max-inflight: '" + v + "'");
+      }
+    } else if (a == "--timeout-ms") {
+      std::string v = need("--timeout-ms");
+      try {
+        fl.timeout_ms = static_cast<int>(std::stol(v));
+      } catch (const std::exception&) {
+        throw CompressionError("invalid value for --timeout-ms: '" + v + "'");
+      }
     } else if (a == "--suite") {
       fl.suite = need("--suite");
     } else if (a == "--json") {
@@ -406,21 +457,119 @@ int cmd_stats(const std::vector<std::string>& positional, const Flags& fl) {
   return 0;
 }
 
+// SIGINT/SIGTERM handler target for `pfpl serve`. request_stop() is
+// async-signal-safe (atomic store + one write() on the wake pipe).
+net::Server* g_serving = nullptr;
+
+extern "C" void serve_signal_handler(int) {
+  if (g_serving) g_serving->request_stop();
+}
+
+int cmd_serve(const std::vector<std::string>& positional, const Flags& fl) {
+  if (!positional.empty()) usage();
+  net::Server::Options opts;
+  opts.bind_host = fl.bind;
+  opts.port = static_cast<u16>(fl.port);
+  opts.threads = fl.threads;
+  if (fl.max_inflight) opts.max_inflight_bytes = fl.max_inflight;
+  opts.exec = fl.params.exec;
+  net::Server server(opts);
+  g_serving = &server;
+  std::signal(SIGINT, serve_signal_handler);
+  std::signal(SIGTERM, serve_signal_handler);
+  // One parseable line, flushed before the loop starts, so scripts (and the
+  // CI smoke job) can learn the bound port even when stdout is a pipe.
+  std::printf("pfpl: serving on %s:%u (threads=%u, exec=%s, max-inflight=%zu)\n",
+              opts.bind_host.c_str(), static_cast<unsigned>(server.port()),
+              opts.threads, to_string(opts.exec), opts.max_inflight_bytes);
+  std::fflush(stdout);
+  server.run();
+  std::signal(SIGINT, SIG_DFL);
+  std::signal(SIGTERM, SIG_DFL);
+  g_serving = nullptr;
+  const net::Server::Stats st = server.stats();
+  std::printf("pfpl: server drained: %llu conns, %llu compress + %llu decompress + "
+              "%llu other requests, %llu errors, rx=%llu tx=%llu bytes\n",
+              static_cast<unsigned long long>(st.connections_accepted),
+              static_cast<unsigned long long>(st.requests_compress),
+              static_cast<unsigned long long>(st.requests_decompress),
+              static_cast<unsigned long long>(st.requests_other),
+              static_cast<unsigned long long>(st.errors),
+              static_cast<unsigned long long>(st.bytes_rx),
+              static_cast<unsigned long long>(st.bytes_tx));
+  if (obs::enabled()) obs::RunReport::global().add_section("net", server.stats_json());
+  return 0;
+}
+
+int cmd_remote(const std::vector<std::string>& positional, const Flags& fl) {
+  if (positional.empty()) usage();
+  const std::string& verb = positional[0];
+  if (fl.host.empty()) {
+    std::fprintf(stderr, "pfpl remote: --host H:P is required\n");
+    usage();
+  }
+  net::Client::Options copts;
+  net::split_host_port(fl.host, copts.host, copts.port);
+  if (fl.timeout_ms > 0) {
+    copts.connect_timeout_ms = fl.timeout_ms;
+    copts.request_timeout_ms = fl.timeout_ms;
+  }
+  net::Client client(copts);
+  if (verb == "compress") {
+    if (positional.size() != 3) usage();
+    std::vector<u8> raw = io::read_file(positional[1]);
+    Bytes out = client.compress(raw.data(), raw.size(), fl.dtype, fl.params.eb,
+                                fl.params.eps);
+    io::write_file(positional[2], out.data(), out.size());
+    std::printf("%zu -> %zu bytes (ratio %.3f)\n", raw.size(), out.size(),
+                out.empty() ? 0.0
+                            : static_cast<double>(raw.size()) /
+                                  static_cast<double>(out.size()));
+    return 0;
+  }
+  if (verb == "decompress") {
+    if (positional.size() != 3) usage();
+    Bytes in = io::read_file(positional[1]);
+    std::vector<u8> raw = client.decompress(in);
+    io::write_file(positional[2], raw.data(), raw.size());
+    std::printf("%zu -> %zu bytes\n", in.size(), raw.size());
+    return 0;
+  }
+  if (positional.size() != 1) usage();
+  if (verb == "stats") {
+    std::printf("%s\n", client.stats().c_str());
+    return 0;
+  }
+  if (verb == "ping") {
+    client.ping();
+    std::printf("pfpl: %s is alive\n", fl.host.c_str());
+    return 0;
+  }
+  if (verb == "shutdown") {
+    client.shutdown_server();
+    std::printf("pfpl: %s is draining\n", fl.host.c_str());
+    return 0;
+  }
+  usage();
+}
+
 int run_command(int argc, char** argv) {
   if (argc < 2) usage();
   std::string mode = argv[1];
-  // `audit` is the only verb with no positional arguments; every other verb
+  // `audit` and `serve` take no positional arguments; every other verb
   // needs at least one.
-  if (mode != "audit" && argc < 3) usage();
+  if (mode != "audit" && mode != "serve" && argc < 3) usage();
   try {
     if (mode == "pack" || mode == "unpack" || mode == "list" || mode == "stats" ||
-        mode == "audit") {
+        mode == "audit" || mode == "serve" || mode == "remote") {
       std::vector<std::string> positional;
       Flags fl = parse_flags(argc, argv, 2, &positional);
       if (mode == "pack") return cmd_pack(positional, fl);
       if (mode == "unpack") return cmd_unpack(positional, fl);
       if (mode == "stats") return cmd_stats(positional, fl);
       if (mode == "audit") return cmd_audit(positional, fl);
+      if (mode == "serve") return cmd_serve(positional, fl);
+      if (mode == "remote") return cmd_remote(positional, fl);
       return cmd_list(positional);
     }
     if (mode == "info") {

@@ -1,0 +1,36 @@
+// CRC-32 (IEEE 802.3, polynomial 0xEDB88320, reflected) — the one integrity
+// checksum of the repository, shared by the PFPA archive layer (src/svc) and
+// the PFPN wire protocol (src/net). Header-only; the table is built once per
+// process.
+#pragma once
+
+#include <array>
+#include <cstddef>
+
+#include "common/types.hpp"
+
+namespace repro::common {
+
+inline const std::array<u32, 256>& crc32_table() {
+  static const std::array<u32, 256> table = [] {
+    std::array<u32, 256> t{};
+    for (u32 i = 0; i < 256; ++i) {
+      u32 c = i;
+      for (int k = 0; k < 8; ++k) c = (c >> 1) ^ (0xEDB88320u & (0u - (c & 1u)));
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+/// Incremental form: pass the previous return value as `seed` to continue.
+inline u32 crc32(const void* data, std::size_t n, u32 seed = 0) {
+  const auto& t = crc32_table();
+  const u8* p = static_cast<const u8*>(data);
+  u32 c = ~seed;
+  for (std::size_t i = 0; i < n; ++i) c = t[(c ^ p[i]) & 0xFF] ^ (c >> 8);
+  return ~c;
+}
+
+}  // namespace repro::common

@@ -1,0 +1,135 @@
+#include "net/client.hpp"
+
+#include <chrono>
+#include <cstring>
+
+#include "common/checksum.hpp"
+#include "obs/metrics.hpp"
+
+namespace repro::net {
+namespace {
+
+/// Client-side latency histogram (microseconds, whole round trip).
+obs::Histogram& client_request_us() {
+  static obs::Histogram& h =
+      obs::MetricsRegistry::global().histogram("net.client.request_us");
+  return h;
+}
+
+u64 now_us() {
+  return static_cast<u64>(std::chrono::duration_cast<std::chrono::microseconds>(
+                              std::chrono::steady_clock::now().time_since_epoch())
+                              .count());
+}
+
+}  // namespace
+
+Client::Client(Options opts) : opts_(std::move(opts)) {}
+
+Client::~Client() = default;
+Client::Client(Client&&) noexcept = default;
+Client& Client::operator=(Client&&) noexcept = default;
+
+void Client::ensure_connected() {
+  if (sock_.valid()) return;
+  sock_ = tcp_connect(opts_.host, opts_.port, opts_.connect_timeout_ms);
+  if (ever_connected_) ++reconnects_;
+  ever_connected_ = true;
+}
+
+Frame Client::roundtrip_once(const FrameHeader& h, const void* payload, std::size_t n) {
+  ensure_connected();
+  const Bytes wire = encode_frame(h, payload, n);
+  send_all(sock_.fd(), wire.data(), wire.size(), opts_.request_timeout_ms);
+
+  u8 hdr[kFrameHeaderSize];
+  recv_all(sock_.fd(), hdr, sizeof(hdr), opts_.request_timeout_ms);
+  FrameHeader rh = decode_frame_header(hdr);  // NetError on bad magic/version
+  if (!rh.is_response() || rh.base_op() != h.base_op())
+    throw NetError("PFPN: response op mismatch (sent " +
+                   std::string(to_string(static_cast<Op>(h.base_op()))) + ", got op " +
+                   std::to_string(rh.op) + ")");
+  if (rh.request_id != h.request_id)
+    throw NetError("PFPN: response id mismatch (sent " + std::to_string(h.request_id) +
+                   ", got " + std::to_string(rh.request_id) + ")");
+  if (rh.payload_len > opts_.max_response_payload)
+    throw NetError("PFPN: response payload of " + std::to_string(rh.payload_len) +
+                   " bytes exceeds the client limit");
+  Frame out;
+  out.header = rh;
+  out.payload.resize(static_cast<std::size_t>(rh.payload_len));
+  if (rh.payload_len)
+    recv_all(sock_.fd(), out.payload.data(), out.payload.size(),
+             opts_.request_timeout_ms);
+  if (common::crc32(out.payload.data(), out.payload.size()) != rh.payload_crc)
+    throw NetError("PFPN: response payload CRC mismatch");
+  if (rh.status != static_cast<u16>(Status::Ok)) {
+    const std::string text(out.payload.begin(), out.payload.end());
+    throw RemoteError(rh.status,
+                      std::string("PFPN: server error ") +
+                          to_string(static_cast<Status>(rh.status)) +
+                          (text.empty() ? "" : ": " + text));
+  }
+  return out;
+}
+
+Frame Client::roundtrip(const FrameHeader& base, const void* payload, std::size_t n) {
+  FrameHeader h = base;
+  h.request_id = next_id_++;
+  const u64 t0 = now_us();
+  try {
+    Frame f = roundtrip_once(h, payload, n);
+    ++requests_;
+    client_request_us().record(now_us() - t0);
+    return f;
+  } catch (const RemoteError&) {
+    throw;  // the server answered; retrying would repeat the same refusal
+  } catch (const NetError&) {
+    if (!opts_.retry) throw;
+    // Transport failure: the connection state is unknown, so drop it and
+    // retry exactly once on a fresh one (requests are pure => idempotent).
+    sock_.close();
+    h.request_id = next_id_++;
+    Frame f = roundtrip_once(h, payload, n);
+    ++requests_;
+    client_request_us().record(now_us() - t0);
+    return f;
+  }
+}
+
+Bytes Client::compress(const void* raw, std::size_t n, DType dtype, EbType eb,
+                       double eps) {
+  FrameHeader h;
+  h.op = static_cast<u8>(Op::Compress);
+  h.dtype = static_cast<u8>(dtype);
+  h.eb_type = static_cast<u8>(eb);
+  h.eps = eps;
+  return roundtrip(h, raw, n).payload;
+}
+
+std::vector<u8> Client::decompress(const Bytes& stream) {
+  FrameHeader h;
+  h.op = static_cast<u8>(Op::Decompress);
+  return roundtrip(h, stream.data(), stream.size()).payload;
+}
+
+std::string Client::stats() {
+  FrameHeader h;
+  h.op = static_cast<u8>(Op::Stats);
+  Frame f = roundtrip(h, nullptr, 0);
+  return std::string(f.payload.begin(), f.payload.end());
+}
+
+void Client::ping() {
+  FrameHeader h;
+  h.op = static_cast<u8>(Op::Ping);
+  roundtrip(h, nullptr, 0);
+}
+
+void Client::shutdown_server() {
+  FrameHeader h;
+  h.op = static_cast<u8>(Op::Shutdown);
+  roundtrip(h, nullptr, 0);
+}
+
+}  // namespace repro::net

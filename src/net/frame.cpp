@@ -1,0 +1,174 @@
+#include "net/frame.hpp"
+
+#include <cstring>
+
+#include "common/checksum.hpp"
+
+namespace repro::net {
+namespace {
+
+// Little-endian wire primitives (byte-portable: no host-order assumptions).
+template <typename T>
+void put_le(u8* p, T v) {
+  for (std::size_t i = 0; i < sizeof(T); ++i) p[i] = static_cast<u8>(v >> (8 * i));
+}
+
+template <typename T>
+T get_le(const u8* p) {
+  T v = 0;
+  for (std::size_t i = 0; i < sizeof(T); ++i) v |= static_cast<T>(p[i]) << (8 * i);
+  return v;
+}
+
+void put_f64(u8* p, double v) {
+  u64 bits;
+  std::memcpy(&bits, &v, 8);
+  put_le<u64>(p, bits);
+}
+
+double get_f64(const u8* p) {
+  u64 bits = get_le<u64>(p);
+  double v;
+  std::memcpy(&v, &bits, 8);
+  return v;
+}
+
+// Wire layout of the 40-byte frame header (docs/FORMAT.md §PFPN):
+//   0  u32 magic        4  u16 version    6  u8 op        7  u8 dtype
+//   8  u16 status      10  u8 eb_type    11  u8 reserved
+//  12  u32 payload_crc 16  f64 eps       24  u64 request_id
+//  32  u64 payload_len
+void encode_header(u8* p, const FrameHeader& h) {
+  put_le<u32>(p + 0, kFrameMagic);
+  put_le<u16>(p + 4, kProtocolVersion);
+  p[6] = h.op;
+  p[7] = h.dtype;
+  put_le<u16>(p + 8, h.status);
+  p[10] = h.eb_type;
+  p[11] = 0;
+  put_le<u32>(p + 12, h.payload_crc);
+  put_f64(p + 16, h.eps);
+  put_le<u64>(p + 24, h.request_id);
+  put_le<u64>(p + 32, h.payload_len);
+}
+
+}  // namespace
+
+const char* to_string(Op op) {
+  switch (op) {
+    case Op::Compress: return "COMPRESS";
+    case Op::Decompress: return "DECOMPRESS";
+    case Op::Stats: return "STATS";
+    case Op::Ping: return "PING";
+    case Op::Shutdown: return "SHUTDOWN";
+  }
+  return "?";
+}
+
+const char* to_string(Status st) {
+  switch (st) {
+    case Status::Ok: return "OK";
+    case Status::BadFrame: return "BAD_FRAME";
+    case Status::CrcMismatch: return "CRC_MISMATCH";
+    case Status::BadParams: return "BAD_PARAMS";
+    case Status::CompressFailed: return "COMPRESS_FAILED";
+    case Status::TooLarge: return "TOO_LARGE";
+    case Status::Draining: return "DRAINING";
+  }
+  return "?";
+}
+
+Bytes encode_frame(FrameHeader h, const void* payload, std::size_t n) {
+  h.payload_len = n;
+  h.payload_crc = common::crc32(payload, n);
+  Bytes out(kFrameHeaderSize + n);
+  encode_header(out.data(), h);
+  if (n) std::memcpy(out.data() + kFrameHeaderSize, payload, n);
+  return out;
+}
+
+Bytes encode_error_frame(u64 request_id, u8 request_op, Status st,
+                         const std::string& message) {
+  FrameHeader h;
+  h.op = static_cast<u8>((request_op & ~kResponseBit) | kResponseBit);
+  h.status = static_cast<u16>(st);
+  h.request_id = request_id;
+  return encode_frame(h, message.data(), message.size());
+}
+
+FrameHeader decode_frame_header(const u8* p) {
+  if (get_le<u32>(p) != kFrameMagic)
+    throw NetError("PFPN: bad frame magic");
+  const u16 version = get_le<u16>(p + 4);
+  if (version != kProtocolVersion)
+    throw NetError("PFPN: unsupported protocol version " + std::to_string(version));
+  FrameHeader h;
+  h.op = p[6];
+  h.dtype = p[7];
+  h.status = get_le<u16>(p + 8);
+  h.eb_type = p[10];
+  h.payload_crc = get_le<u32>(p + 12);
+  h.eps = get_f64(p + 16);
+  h.request_id = get_le<u64>(p + 24);
+  h.payload_len = get_le<u64>(p + 32);
+  return h;
+}
+
+FrameParser::FrameParser(std::size_t max_payload) : max_payload_(max_payload) {}
+
+void FrameParser::feed(const void* data, std::size_t n) {
+  // Compact the consumed prefix before growing — keeps the buffer bounded by
+  // (one frame + one read) instead of the whole connection history.
+  if (pos_ > 0 && (pos_ == buf_.size() || pos_ >= (64u << 10))) {
+    buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(pos_));
+    pos_ = 0;
+  }
+  const u8* p = static_cast<const u8*>(data);
+  buf_.insert(buf_.end(), p, p + n);
+}
+
+FrameParser::Result FrameParser::fail(Status st, std::string text, bool fatal) {
+  err_status_ = st;
+  err_text_ = std::move(text);
+  if (fatal) fatal_ = true;
+  return Result::Error;
+}
+
+FrameParser::Result FrameParser::next(Frame& out) {
+  if (fatal_) return Result::Error;  // poisoned: framing can't be trusted
+  if (!have_header_) {
+    if (buf_.size() - pos_ < kFrameHeaderSize) return Result::NeedMore;
+    const u8* p = buf_.data() + pos_;
+    err_request_id_ = 0;
+    err_op_ = 0;
+    try {
+      h_ = decode_frame_header(p);
+    } catch (const NetError& e) {
+      return fail(Status::BadFrame, e.what(), /*fatal=*/true);
+    }
+    err_request_id_ = h_.request_id;
+    err_op_ = h_.op;
+    if (h_.payload_len > max_payload_)
+      return fail(Status::TooLarge,
+                  "PFPN: declared payload of " + std::to_string(h_.payload_len) +
+                      " bytes exceeds the " + std::to_string(max_payload_) + "-byte limit",
+                  /*fatal=*/true);
+    pos_ += kFrameHeaderSize;
+    have_header_ = true;
+  }
+  if (buf_.size() - pos_ < h_.payload_len) return Result::NeedMore;
+  const u8* payload = buf_.data() + pos_;
+  const u32 crc = common::crc32(payload, static_cast<std::size_t>(h_.payload_len));
+  pos_ += static_cast<std::size_t>(h_.payload_len);
+  have_header_ = false;
+  if (crc != h_.payload_crc) {
+    // The declared length matched what arrived, so the stream is still
+    // framed — discard this payload and keep the connection parseable.
+    return fail(Status::CrcMismatch, "PFPN: payload CRC mismatch", /*fatal=*/false);
+  }
+  out.header = h_;
+  out.payload.assign(payload, payload + h_.payload_len);
+  return Result::Ready;
+}
+
+}  // namespace repro::net

@@ -1,0 +1,652 @@
+#include "net/server.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "svc/thread_pool.hpp"
+
+namespace repro::net {
+namespace {
+
+/// net.* metric handles, resolved once (obs/metrics.hpp pattern). These are
+/// the obs-gated view; Server::Stats atomics below are always live.
+struct NetMetrics {
+  obs::Counter& connections_accepted;
+  obs::Counter& frames_rx;
+  obs::Counter& frames_tx;
+  obs::Counter& bytes_rx;
+  obs::Counter& bytes_tx;
+  obs::Counter& requests;
+  obs::Counter& errors;
+  obs::Gauge& connections;
+  obs::Gauge& inflight_bytes;
+  obs::Histogram& request_us;
+  obs::Histogram& compress_us;
+  obs::Histogram& decompress_us;
+  static NetMetrics& get() {
+    auto& r = obs::MetricsRegistry::global();
+    static NetMetrics m{r.counter("net.connections_accepted"),
+                        r.counter("net.frames_rx"),
+                        r.counter("net.frames_tx"),
+                        r.counter("net.bytes_rx"),
+                        r.counter("net.bytes_tx"),
+                        r.counter("net.requests"),
+                        r.counter("net.errors"),
+                        r.gauge("net.connections"),
+                        r.gauge("net.inflight_bytes"),
+                        r.histogram("net.request_us"),
+                        r.histogram("net.compress_us"),
+                        r.histogram("net.decompress_us")};
+    return m;
+  }
+};
+
+u64 now_ns() {
+  return static_cast<u64>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                              std::chrono::steady_clock::now().time_since_epoch())
+                              .count());
+}
+
+/// Test-only slowdown: PFPL_NET_TEST_SLOW_US sleeps inside every worker-side
+/// request, widening the in-flight window so the drain and backpressure
+/// tests are deterministic. Read fresh each time (test-only path; the hot
+/// path never reaches it in real runs). Unset in production.
+void test_slowdown() {
+  const char* e = std::getenv("PFPL_NET_TEST_SLOW_US");
+  if (e && e[0] != '\0') {
+    const long us = std::atol(e);
+    if (us > 0) std::this_thread::sleep_for(std::chrono::microseconds(us));
+  }
+}
+
+struct Connection {
+  u64 id = 0;
+  Socket sock;
+  FrameParser parser;
+  std::deque<Bytes> outq;       ///< response buffers awaiting the socket
+  std::size_t out_off = 0;      ///< sent prefix of outq.front()
+  std::deque<Frame> deferred;   ///< parsed requests parked by backpressure
+  std::size_t inflight = 0;     ///< dispatched-but-unanswered payload bytes
+  bool no_read = false;         ///< peer half-closed or framing poisoned
+  Connection(u64 i, Socket s, std::size_t max_payload)
+      : id(i), sock(std::move(s)), parser(max_payload) {}
+};
+
+/// A worker-finished response headed back to the event loop.
+struct Completion {
+  u64 conn_id = 0;
+  Bytes frame;                ///< encoded response (success or error)
+  std::size_t release = 0;    ///< in-flight payload bytes to give back
+  u64 t0_ns = 0;              ///< dispatch timestamp
+  u8 op = 0;                  ///< request op (for per-op latency histograms)
+  bool is_error = false;
+};
+
+}  // namespace
+
+struct Server::Impl {
+  Options opts;
+  Socket listen;
+  int wake_r = -1, wake_w = -1;
+  std::unique_ptr<svc::ThreadPool> pool;
+
+  std::map<u64, std::unique_ptr<Connection>> conns;
+  u64 next_conn_id = 1;
+  bool draining = false;
+  u64 drain_deadline_ns = 0;
+  u64 start_ns = now_ns();
+
+  std::atomic<bool> stop_requested{false};
+  std::mutex comp_m;
+  std::vector<Completion> completions;
+
+  // Always-live service counters (the STATS op's source of truth).
+  struct {
+    std::atomic<u64> connections_accepted{0}, connections_current{0};
+    std::atomic<u64> frames_rx{0}, frames_tx{0}, bytes_rx{0}, bytes_tx{0};
+    std::atomic<u64> requests_compress{0}, requests_decompress{0}, requests_other{0};
+    std::atomic<u64> errors{0}, inflight_bytes{0}, peak_inflight_bytes{0};
+    std::atomic<bool> draining{false};
+  } st;
+
+  explicit Impl(const Options& o) : opts(o) {
+    listen = tcp_listen(o.bind_host, o.port);
+    int fds[2];
+    if (::pipe(fds) != 0) throw NetError("net: pipe: " + std::string(std::strerror(errno)));
+    wake_r = fds[0];
+    wake_w = fds[1];
+    set_nonblocking(wake_r, true);
+    set_nonblocking(wake_w, true);
+    pool = std::make_unique<svc::ThreadPool>(o.threads, o.queue_capacity);
+  }
+
+  ~Impl() {
+    // Join the workers BEFORE the wake pipe closes — a late completion's
+    // wake() must hit our pipe, not whatever fd number got recycled.
+    pool.reset();
+    if (wake_r >= 0) ::close(wake_r);
+    if (wake_w >= 0) ::close(wake_w);
+  }
+
+  void wake() {
+    const char b = 1;
+    // A full pipe already guarantees a pending wakeup; EAGAIN is fine.
+    [[maybe_unused]] ssize_t rc = ::write(wake_w, &b, 1);
+  }
+
+  Stats snapshot() const {
+    Stats out;
+    out.connections_accepted = st.connections_accepted.load(std::memory_order_relaxed);
+    out.connections_current = st.connections_current.load(std::memory_order_relaxed);
+    out.frames_rx = st.frames_rx.load(std::memory_order_relaxed);
+    out.frames_tx = st.frames_tx.load(std::memory_order_relaxed);
+    out.bytes_rx = st.bytes_rx.load(std::memory_order_relaxed);
+    out.bytes_tx = st.bytes_tx.load(std::memory_order_relaxed);
+    out.requests_compress = st.requests_compress.load(std::memory_order_relaxed);
+    out.requests_decompress = st.requests_decompress.load(std::memory_order_relaxed);
+    out.requests_other = st.requests_other.load(std::memory_order_relaxed);
+    out.errors = st.errors.load(std::memory_order_relaxed);
+    out.inflight_bytes = st.inflight_bytes.load(std::memory_order_relaxed);
+    out.peak_inflight_bytes = st.peak_inflight_bytes.load(std::memory_order_relaxed);
+    out.draining = st.draining.load(std::memory_order_relaxed);
+    return out;
+  }
+
+  std::string stats_json() const {
+    const Stats s = snapshot();
+    obs::JsonWriter w;
+    w.begin_object();
+    w.kv("service", "pfpld");
+    w.kv("protocol", "PFPN/1");
+    w.kv("uptime_s", static_cast<double>(now_ns() - start_ns) / 1e9);
+    w.kv("threads", pool->worker_count());
+    w.kv("exec", pfpl::to_string(opts.exec));
+    w.kv("max_inflight_bytes",
+         static_cast<unsigned long long>(opts.max_inflight_bytes));
+    w.kv("max_frame_payload",
+         static_cast<unsigned long long>(opts.max_frame_payload));
+    w.kv("draining", s.draining);
+    w.kv("connections_accepted", static_cast<unsigned long long>(s.connections_accepted));
+    w.kv("connections_current", static_cast<unsigned long long>(s.connections_current));
+    w.kv("frames_rx", static_cast<unsigned long long>(s.frames_rx));
+    w.kv("frames_tx", static_cast<unsigned long long>(s.frames_tx));
+    w.kv("bytes_rx", static_cast<unsigned long long>(s.bytes_rx));
+    w.kv("bytes_tx", static_cast<unsigned long long>(s.bytes_tx));
+    w.kv("requests_compress", static_cast<unsigned long long>(s.requests_compress));
+    w.kv("requests_decompress", static_cast<unsigned long long>(s.requests_decompress));
+    w.kv("requests_other", static_cast<unsigned long long>(s.requests_other));
+    w.kv("errors", static_cast<unsigned long long>(s.errors));
+    w.kv("inflight_bytes", static_cast<unsigned long long>(s.inflight_bytes));
+    w.kv("peak_inflight_bytes", static_cast<unsigned long long>(s.peak_inflight_bytes));
+    w.end_object();
+    return w.take();
+  }
+
+  // -- in-flight accounting ------------------------------------------------
+
+  void inflight_add(Connection& c, std::size_t n) {
+    c.inflight += n;
+    const u64 total = st.inflight_bytes.fetch_add(n, std::memory_order_relaxed) + n;
+    u64 peak = st.peak_inflight_bytes.load(std::memory_order_relaxed);
+    while (total > peak &&
+           !st.peak_inflight_bytes.compare_exchange_weak(peak, total,
+                                                         std::memory_order_relaxed)) {
+    }
+    NetMetrics::get().inflight_bytes.set(static_cast<long long>(total));
+  }
+
+  void inflight_release(Connection& c, std::size_t n) {
+    c.inflight -= std::min(n, c.inflight);
+    const u64 total = st.inflight_bytes.fetch_sub(n, std::memory_order_relaxed) - n;
+    NetMetrics::get().inflight_bytes.set(static_cast<long long>(total));
+  }
+
+  bool paused(const Connection& c) const {
+    return !c.deferred.empty() || c.inflight >= opts.max_inflight_bytes;
+  }
+
+  // -- responses -----------------------------------------------------------
+
+  void queue_response(Connection& c, Bytes frame, bool is_error) {
+    st.frames_tx.fetch_add(1, std::memory_order_relaxed);
+    if (is_error) st.errors.fetch_add(1, std::memory_order_relaxed);
+    NetMetrics& m = NetMetrics::get();
+    m.frames_tx.add(1);
+    if (is_error) m.errors.add(1);
+    c.outq.push_back(std::move(frame));
+  }
+
+  void queue_error(Connection& c, u64 request_id, u8 op, Status stc,
+                   const std::string& text) {
+    queue_response(c, encode_error_frame(request_id, op, stc, text), /*is_error=*/true);
+  }
+
+  /// Flush as much of the out-queue as the socket accepts right now.
+  void flush_out(Connection& c) {
+    while (!c.outq.empty()) {
+      Bytes& front = c.outq.front();
+      while (c.out_off < front.size()) {
+        const ssize_t rc = ::send(c.sock.fd(), front.data() + c.out_off,
+                                  front.size() - c.out_off, MSG_NOSIGNAL);
+        if (rc > 0) {
+          c.out_off += static_cast<std::size_t>(rc);
+          st.bytes_tx.fetch_add(static_cast<u64>(rc), std::memory_order_relaxed);
+          NetMetrics::get().bytes_tx.add(static_cast<u64>(rc));
+          continue;
+        }
+        if (rc < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+        if (rc < 0 && errno == EINTR) continue;
+        // Peer vanished: drop the queue; the close logic reaps the conn.
+        c.outq.clear();
+        c.out_off = 0;
+        c.no_read = true;
+        return;
+      }
+      c.outq.pop_front();
+      c.out_off = 0;
+    }
+  }
+
+  // -- request handling ----------------------------------------------------
+
+  void dispatch(Connection& c, Frame&& f) {
+    const FrameHeader h = f.header;
+    const std::size_t n = f.payload.size();
+    inflight_add(c, n);
+    NetMetrics::get().requests.add(1);
+    auto payload = std::make_shared<Bytes>(std::move(f.payload));
+    const pfpl::Executor exec = opts.exec;
+    const u64 conn_id = c.id;
+    const u64 t0 = now_ns();
+    Impl* self = this;
+    pool->submit([self, payload, h, exec, conn_id, t0, n] {
+      Completion comp;
+      comp.conn_id = conn_id;
+      comp.release = n;
+      comp.t0_ns = t0;
+      comp.op = h.base_op();
+      try {
+        test_slowdown();
+        if (h.base_op() == static_cast<u8>(Op::Compress)) {
+          Field field = h.dtype == static_cast<u8>(DType::F64)
+                            ? Field(reinterpret_cast<const double*>(payload->data()),
+                                    payload->size() / 8)
+                            : Field(reinterpret_cast<const float*>(payload->data()),
+                                    payload->size() / 4);
+          pfpl::Params params{h.eps, static_cast<EbType>(h.eb_type), exec};
+          Bytes stream = pfpl::compress(field, params);
+          FrameHeader rh;
+          rh.op = h.op | kResponseBit;
+          rh.request_id = h.request_id;
+          rh.dtype = h.dtype;
+          rh.eb_type = h.eb_type;
+          rh.eps = h.eps;
+          comp.frame = encode_frame(rh, stream);
+        } else {
+          pfpl::Header sh = pfpl::peek_header(*payload);
+          std::vector<u8> raw = pfpl::decompress(*payload, exec);
+          FrameHeader rh;
+          rh.op = h.op | kResponseBit;
+          rh.request_id = h.request_id;
+          rh.dtype = static_cast<u8>(sh.dtype);
+          rh.eb_type = static_cast<u8>(sh.eb_type);
+          rh.eps = sh.eps;
+          comp.frame = encode_frame(rh, raw.data(), raw.size());
+        }
+      } catch (const std::exception& e) {
+        comp.frame = encode_error_frame(h.request_id, h.op, Status::CompressFailed,
+                                        e.what());
+        comp.is_error = true;
+      }
+      {
+        std::lock_guard<std::mutex> lk(self->comp_m);
+        self->completions.push_back(std::move(comp));
+      }
+      self->wake();
+    });
+  }
+
+  /// Admit a validated COMPRESS/DECOMPRESS request against the per-conn
+  /// budget: dispatch now, or park it (which pauses reads) until in-flight
+  /// bytes drop. An oversized single request is admitted alone.
+  void admit(Connection& c, Frame&& f) {
+    const std::size_t n = f.payload.size();
+    if (!c.deferred.empty() ||
+        (c.inflight != 0 && c.inflight + n > opts.max_inflight_bytes)) {
+      c.deferred.push_back(std::move(f));
+      return;
+    }
+    dispatch(c, std::move(f));
+  }
+
+  void handle_frame(Connection& c, Frame&& f) {
+    const FrameHeader& h = f.header;
+    st.frames_rx.fetch_add(1, std::memory_order_relaxed);
+    NetMetrics::get().frames_rx.add(1);
+    if (h.is_response() || h.status != 0) {
+      queue_error(c, h.request_id, h.op, Status::BadFrame,
+                  "expected a request frame");
+      return;
+    }
+    switch (static_cast<Op>(h.base_op())) {
+      case Op::Ping: {
+        st.requests_other.fetch_add(1, std::memory_order_relaxed);
+        FrameHeader rh;
+        rh.op = h.op | kResponseBit;
+        rh.request_id = h.request_id;
+        queue_response(c, encode_frame(rh, f.payload), /*is_error=*/false);
+        return;
+      }
+      case Op::Stats: {
+        st.requests_other.fetch_add(1, std::memory_order_relaxed);
+        const std::string json = stats_json();
+        FrameHeader rh;
+        rh.op = h.op | kResponseBit;
+        rh.request_id = h.request_id;
+        queue_response(c, encode_frame(rh, json.data(), json.size()),
+                       /*is_error=*/false);
+        return;
+      }
+      case Op::Shutdown: {
+        st.requests_other.fetch_add(1, std::memory_order_relaxed);
+        FrameHeader rh;
+        rh.op = h.op | kResponseBit;
+        rh.request_id = h.request_id;
+        queue_response(c, encode_frame(rh, nullptr, 0), /*is_error=*/false);
+        begin_drain();
+        return;
+      }
+      case Op::Compress: {
+        if (draining) {
+          queue_error(c, h.request_id, h.op, Status::Draining, "server is draining");
+          return;
+        }
+        if (h.dtype > 1 || h.eb_type > 2) {
+          queue_error(c, h.request_id, h.op, Status::BadParams,
+                      "unknown dtype/eb_type");
+          return;
+        }
+        const std::size_t scalar = dtype_size(static_cast<DType>(h.dtype));
+        if (f.payload.empty() || f.payload.size() % scalar != 0) {
+          queue_error(c, h.request_id, h.op, Status::BadParams,
+                      "payload size is not a positive multiple of the scalar size");
+          return;
+        }
+        if (!std::isfinite(h.eps)) {
+          queue_error(c, h.request_id, h.op, Status::BadParams, "eps is not finite");
+          return;
+        }
+        st.requests_compress.fetch_add(1, std::memory_order_relaxed);
+        admit(c, std::move(f));
+        return;
+      }
+      case Op::Decompress: {
+        if (draining) {
+          queue_error(c, h.request_id, h.op, Status::Draining, "server is draining");
+          return;
+        }
+        if (f.payload.empty()) {
+          queue_error(c, h.request_id, h.op, Status::BadParams, "empty stream");
+          return;
+        }
+        st.requests_decompress.fetch_add(1, std::memory_order_relaxed);
+        admit(c, std::move(f));
+        return;
+      }
+    }
+    queue_error(c, h.request_id, h.op, Status::BadFrame,
+                "unsupported op " + std::to_string(h.base_op()));
+  }
+
+  /// Parse and handle every complete frame buffered on the connection,
+  /// stopping early when backpressure parks it.
+  void pump(Connection& c) {
+    // Budget freed? Un-park deferred requests first, oldest first.
+    while (!c.deferred.empty() &&
+           (c.inflight == 0 ||
+            c.inflight + c.deferred.front().payload.size() <= opts.max_inflight_bytes)) {
+      if (draining) {
+        Frame f = std::move(c.deferred.front());
+        c.deferred.pop_front();
+        queue_error(c, f.header.request_id, f.header.op, Status::Draining,
+                    "server is draining");
+        continue;
+      }
+      Frame f = std::move(c.deferred.front());
+      c.deferred.pop_front();
+      dispatch(c, std::move(f));
+    }
+    while (!paused(c)) {
+      Frame f;
+      const FrameParser::Result r = c.parser.next(f);
+      if (r == FrameParser::Result::NeedMore) break;
+      if (r == FrameParser::Result::Ready) {
+        handle_frame(c, std::move(f));
+        continue;
+      }
+      // Typed error frame for the offender; framing errors also poison the
+      // stream, so stop reading and close once everything queued flushes.
+      queue_error(c, c.parser.error_request_id(), c.parser.error_op(),
+                  c.parser.status(), c.parser.error());
+      if (c.parser.fatal()) {
+        c.no_read = true;
+        break;
+      }
+    }
+  }
+
+  void read_ready(Connection& c) {
+    u8 buf[64 << 10];
+    // Bounded per poll round: ~256 KiB keeps one fast peer from starving
+    // the rest of the loop (level-triggered poll re-arms immediately).
+    for (int round = 0; round < 4; ++round) {
+      const ssize_t rc = ::recv(c.sock.fd(), buf, sizeof(buf), 0);
+      if (rc > 0) {
+        st.bytes_rx.fetch_add(static_cast<u64>(rc), std::memory_order_relaxed);
+        NetMetrics::get().bytes_rx.add(static_cast<u64>(rc));
+        c.parser.feed(buf, static_cast<std::size_t>(rc));
+        if (static_cast<std::size_t>(rc) < sizeof(buf)) break;
+        continue;
+      }
+      if (rc == 0) {  // peer half-closed: no more requests will arrive
+        c.no_read = true;
+        break;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      if (errno == EINTR) continue;
+      c.no_read = true;  // hard error: reap below
+      break;
+    }
+    pump(c);
+  }
+
+  void begin_drain() {
+    if (draining) return;
+    draining = true;
+    st.draining.store(true, std::memory_order_relaxed);
+    drain_deadline_ns = now_ns() + static_cast<u64>(opts.drain_timeout_ms) * 1000000ull;
+    listen.close();  // stop accepting; queued SYNs get RST from the kernel
+    for (auto& [id, c] : conns) {
+      while (!c->deferred.empty()) {
+        Frame f = std::move(c->deferred.front());
+        c->deferred.pop_front();
+        queue_error(*c, f.header.request_id, f.header.op, Status::Draining,
+                    "server is draining");
+      }
+    }
+  }
+
+  void process_completions() {
+    std::vector<Completion> batch;
+    {
+      std::lock_guard<std::mutex> lk(comp_m);
+      batch.swap(completions);
+    }
+    for (Completion& comp : batch) {
+      NetMetrics& m = NetMetrics::get();
+      const u64 us = (now_ns() - comp.t0_ns) / 1000;
+      m.request_us.record(us);
+      if (comp.op == static_cast<u8>(Op::Compress)) m.compress_us.record(us);
+      if (comp.op == static_cast<u8>(Op::Decompress)) m.decompress_us.record(us);
+      auto it = conns.find(comp.conn_id);
+      if (it == conns.end()) {
+        // Connection died before its answer was ready: close_conn already
+        // returned its in-flight bytes, so just drop the response.
+        continue;
+      }
+      Connection& c = *it->second;
+      inflight_release(c, comp.release);
+      queue_response(c, std::move(comp.frame), comp.is_error);
+      pump(c);  // freed budget may un-park deferred frames / buffered bytes
+    }
+  }
+
+  void accept_ready() {
+    for (;;) {
+      const int fd = ::accept(listen.fd(), nullptr, nullptr);
+      if (fd < 0) {
+        if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) return;
+        return;  // transient accept errors (ECONNABORTED, EMFILE): keep serving
+      }
+      Socket s(fd);
+      set_nonblocking(fd, true);
+      const int one = 1;
+      setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      const u64 id = next_conn_id++;
+      conns.emplace(id, std::make_unique<Connection>(id, std::move(s),
+                                                     opts.max_frame_payload));
+      st.connections_accepted.fetch_add(1, std::memory_order_relaxed);
+      st.connections_current.fetch_add(1, std::memory_order_relaxed);
+      NetMetrics& m = NetMetrics::get();
+      m.connections_accepted.add(1);
+      m.connections.set(static_cast<long long>(
+          st.connections_current.load(std::memory_order_relaxed)));
+    }
+  }
+
+  void close_conn(std::map<u64, std::unique_ptr<Connection>>::iterator it) {
+    // In-flight bytes of a dying conn are given back here; its completions
+    // will find no connection and skip the (already-done) release.
+    st.inflight_bytes.fetch_sub(it->second->inflight, std::memory_order_relaxed);
+    it->second->inflight = 0;
+    conns.erase(it);
+    st.connections_current.fetch_sub(1, std::memory_order_relaxed);
+    NetMetrics::get().connections.set(static_cast<long long>(
+        st.connections_current.load(std::memory_order_relaxed)));
+  }
+
+  void run() {
+    std::vector<pollfd> pfds;
+    std::vector<u64> pfd_conn;  // conn id per pollfd slot (0 = not a conn)
+    for (;;) {
+      if (stop_requested.load(std::memory_order_relaxed)) begin_drain();
+      if (draining) {
+        // Reap idle conns; force-close stragglers past the flush deadline.
+        const bool past_deadline = now_ns() >= drain_deadline_ns;
+        for (auto it = conns.begin(); it != conns.end();) {
+          Connection& c = *it->second;
+          const bool idle = c.inflight == 0 && c.outq.empty() && c.deferred.empty();
+          if (idle || past_deadline)
+            close_conn(it++);
+          else
+            ++it;
+        }
+        if (conns.empty()) break;
+      }
+
+      pfds.clear();
+      pfd_conn.clear();
+      pfds.push_back({wake_r, POLLIN, 0});
+      pfd_conn.push_back(0);
+      if (listen.valid()) {
+        pfds.push_back({listen.fd(), POLLIN, 0});
+        pfd_conn.push_back(0);
+      }
+      const std::size_t first_conn = pfds.size();
+      for (auto& [id, c] : conns) {
+        short ev = 0;
+        if (!c->no_read && !paused(*c)) ev |= POLLIN;
+        if (!c->outq.empty()) ev |= POLLOUT;
+        if (ev == 0) ev = POLLHUP;  // still want error/hangup notification
+        pfds.push_back({c->sock.fd(), ev, 0});
+        pfd_conn.push_back(id);
+      }
+
+      const int rc = ::poll(pfds.data(), pfds.size(), draining ? 20 : 200);
+      if (rc < 0 && errno != EINTR)
+        throw NetError("net: poll: " + std::string(std::strerror(errno)));
+
+      if (pfds[0].revents & POLLIN) {
+        u8 sink[256];
+        while (::read(wake_r, sink, sizeof(sink)) > 0) {
+        }
+      }
+      process_completions();
+      if (stop_requested.load(std::memory_order_relaxed)) begin_drain();
+      if (listen.valid() && pfds.size() > 1 && (pfds[1].revents & POLLIN))
+        accept_ready();
+
+      for (std::size_t i = first_conn; i < pfds.size(); ++i) {
+        auto it = conns.find(pfd_conn[i]);
+        if (it == conns.end()) continue;  // closed earlier this round
+        Connection& c = *it->second;
+        if (pfds[i].revents & (POLLERR | POLLNVAL)) {
+          close_conn(it);
+          continue;
+        }
+        if (pfds[i].revents & POLLOUT) flush_out(c);
+        if (pfds[i].revents & (POLLIN | POLLHUP)) {
+          if (!c.no_read)
+            read_ready(c);
+          else if (pfds[i].revents & POLLHUP) {
+            // Peer fully gone and nothing readable: flush what we can.
+            flush_out(c);
+          }
+        }
+        // Reap: peer can't send more, nothing pending either way.
+        if (c.no_read && c.inflight == 0 && c.deferred.empty() && c.outq.empty())
+          close_conn(it);
+      }
+    }
+    // Every connection is gone; quiesce the pool (completions for closed
+    // conns are dropped) and drop whatever the workers pushed meanwhile.
+    pool->drain();
+    process_completions();
+  }
+};
+
+Server::Server(const Options& opts) : impl_(std::make_unique<Impl>(opts)) {
+  port_ = local_port(impl_->listen);
+}
+
+Server::~Server() = default;
+
+void Server::run() { impl_->run(); }
+
+void Server::request_stop() {
+  impl_->stop_requested.store(true, std::memory_order_relaxed);
+  impl_->wake();
+}
+
+Server::Stats Server::stats() const { return impl_->snapshot(); }
+
+std::string Server::stats_json() const { return impl_->stats_json(); }
+
+}  // namespace repro::net

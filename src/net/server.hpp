@@ -1,0 +1,99 @@
+// pfpld — the PFPN/1 compression server.
+//
+// Architecture (one event-loop thread + the svc worker pool):
+//
+//   * A poll(2)-based event loop owns the listening socket and every
+//     connection. Connections are non-blocking; frames are parsed
+//     incrementally from per-connection buffers (net::FrameParser), so a
+//     slow or malicious peer can never block the loop or make it over-read.
+//   * COMPRESS/DECOMPRESS work is dispatched onto a svc::ThreadPool. Workers
+//     never touch connection state: each finished request is pushed onto a
+//     completion queue and the loop is woken through a self-pipe, the only
+//     cross-thread channel.
+//   * Backpressure is per connection: while a connection has more than
+//     `max_inflight_bytes` of dispatched-but-unanswered payload, the loop
+//     parks its parsed-but-undispatched frames and stops polling it for
+//     reads. A single request larger than the whole budget is admitted alone
+//     (mirroring svc's ByteBudget) so it cannot deadlock.
+//   * Graceful drain (SIGINT via request_stop(), or a SHUTDOWN frame): stop
+//     accepting connections, answer new requests with a typed DRAINING
+//     error, let in-flight requests finish and their responses flush, then
+//     close everything and return from run(). A peer that refuses to read
+//     its responses is cut off after `drain_timeout_ms`.
+//
+// Protocol errors get typed error frames: recoverable ones (CRC mismatch,
+// bad params, unsupported op) keep the connection; framing errors (bad
+// magic, oversized length) get a best-effort error frame and a close. The
+// server must never crash on hostile bytes — tests/test_net.cpp pins this.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <string>
+
+#include "common/types.hpp"
+#include "core/pfpl.hpp"
+#include "net/socket.hpp"
+
+namespace repro::net {
+
+class Server {
+ public:
+  struct Options {
+    std::string bind_host = "127.0.0.1";
+    u16 port = 0;                                 ///< 0 = ephemeral
+    unsigned threads = 0;                         ///< pool workers; 0 = hw
+    std::size_t max_inflight_bytes = 64u << 20;   ///< per-connection budget
+    std::size_t max_frame_payload = 256u << 20;   ///< declared-length cap
+    std::size_t queue_capacity = 4096;            ///< pool bounded queue
+    int drain_timeout_ms = 5000;                  ///< flush deadline on drain
+    pfpl::Executor exec = pfpl::Executor::Serial;
+  };
+
+  /// Plain-atomic service counters (live regardless of obs::enabled(), so
+  /// the STATS op always has content).
+  struct Stats {
+    u64 connections_accepted = 0;
+    u64 connections_current = 0;
+    u64 frames_rx = 0;
+    u64 frames_tx = 0;
+    u64 bytes_rx = 0;
+    u64 bytes_tx = 0;
+    u64 requests_compress = 0;
+    u64 requests_decompress = 0;
+    u64 requests_other = 0;   ///< STATS/PING/SHUTDOWN
+    u64 errors = 0;           ///< typed error frames sent
+    u64 inflight_bytes = 0;
+    u64 peak_inflight_bytes = 0;
+    bool draining = false;
+  };
+
+  /// Binds and listens immediately (throws NetError on failure) so port()
+  /// is valid before run() — callers start the loop on a thread and connect.
+  explicit Server(const Options& opts);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  u16 port() const { return port_; }
+
+  /// Run the event loop on the calling thread; returns after a graceful
+  /// drain completes (request_stop() or a SHUTDOWN frame).
+  void run();
+
+  /// Begin graceful drain. Safe from any thread and from signal handlers
+  /// (atomic store + one write() to the wake pipe).
+  void request_stop();
+
+  Stats stats() const;
+  /// The STATS-op payload: stats + config as a JSON object.
+  std::string stats_json() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+  u16 port_ = 0;
+};
+
+}  // namespace repro::net

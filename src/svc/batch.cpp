@@ -174,6 +174,10 @@ std::vector<JobResult> BatchCompressor::run(const std::vector<Job>& jobs) {
     }
   }
 
+  // Future harvest proves every chunk *value* arrived, but a worker can still
+  // be inside its post-task bookkeeping; drain() waits out that tail so the
+  // counter snapshot below is exact (executed == submitted for this run).
+  pool_->drain();
   const ThreadPool::Counters after = pool_->counters();
   stats_.tasks_stolen = after.stolen - before.stolen;
   stats_.peak_queue_depth = after.peak_pending;

@@ -43,8 +43,9 @@ ThreadPool::~ThreadPool() { shutdown(); }
 void ThreadPool::enqueue(std::function<void()> f) {
   Task t{std::move(f), obs::enabled() ? obs::TraceRecorder::global().now_ns() : 0};
   std::unique_lock<std::mutex> lk(state_m_);
-  space_cv_.wait(lk, [&] { return stopping_ || pending_ < capacity_; });
+  space_cv_.wait(lk, [&] { return stopping_ || draining_ || pending_ < capacity_; });
   if (stopping_) throw CompressionError("svc::ThreadPool: submit after shutdown");
+  if (draining_) throw CompressionError("svc::ThreadPool: submit during drain");
   const unsigned target = static_cast<unsigned>(next_worker_++ % workers_.size());
   {
     // Push BEFORE pending_ is bumped (both under state_m_, so the two are
@@ -143,6 +144,27 @@ void ThreadPool::worker_loop(unsigned self) {
 void ThreadPool::wait_idle() {
   std::unique_lock<std::mutex> lk(state_m_);
   idle_cv_.wait(lk, [&] { return pending_ == 0 && running_ == 0; });
+}
+
+void ThreadPool::drain() {
+  std::unique_lock<std::mutex> lk(state_m_);
+  // Concurrent drains simply queue up on the same predicate: each waits for
+  // idle, and the flag stays set until the last one re-enables submissions.
+  draining_ = true;
+  lk.unlock();
+  // Wake producers blocked on the capacity bound so they see the drain and
+  // throw instead of waiting out a queue slot that may never matter again.
+  space_cv_.notify_all();
+  lk.lock();
+  idle_cv_.wait(lk, [&] { return pending_ == 0 && running_ == 0; });
+  draining_ = false;
+  lk.unlock();
+  space_cv_.notify_all();
+}
+
+bool ThreadPool::draining() const {
+  std::lock_guard<std::mutex> lk(state_m_);
+  return draining_;
 }
 
 void ThreadPool::shutdown() {

@@ -65,6 +65,18 @@ class ThreadPool {
   /// Block until every queued and running task has finished.
   void wait_idle();
 
+  /// Graceful drain WITHOUT destroying the pool: submissions made while a
+  /// drain is in progress are rejected with CompressionError, every already-
+  /// queued and running task finishes, then the pool accepts work again.
+  /// This is the quiescence primitive the network server's graceful shutdown
+  /// uses (finish in-flight requests, reject new ones, keep the workers),
+  /// and what the batch path uses to guarantee the pool is idle before it
+  /// snapshots scheduler counters.
+  void drain();
+
+  /// True while a drain() is in progress (submissions are being rejected).
+  bool draining() const;
+
   /// Begin graceful shutdown (idempotent): queued tasks still run; new
   /// submissions are rejected. Returns after all workers have joined.
   void shutdown();
@@ -105,6 +117,7 @@ class ThreadPool {
   std::size_t pending_ = 0;           ///< queued, not yet started
   std::size_t running_ = 0;           ///< currently executing
   bool stopping_ = false;
+  bool draining_ = false;             ///< drain() in progress: reject submits
   u64 next_worker_ = 0;  ///< round-robin cursor for external submissions
   Counters counters_;
 };
