@@ -18,10 +18,12 @@
 // metrics via the harness's automatic histogram capture.
 //
 // Exit codes: 0 ok, 1 protocol error or byte mismatch, 3 failed --gate.
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <thread>
@@ -33,6 +35,7 @@
 #include "net/server.hpp"
 #include "obs/metrics.hpp"
 #include "obs/report.hpp"
+#include "store/store.hpp"
 
 using namespace repro;
 
@@ -43,6 +46,8 @@ struct LoadCfg {
   unsigned requests = 16;       ///< per client
   std::size_t values = 16384;   ///< scalars per request
   std::string host;             ///< empty = in-process server
+  double dup_ratio = 0.0;       ///< fraction of requests resending one payload
+  unsigned cache_mb = 0;        ///< give the in-process server a chunk store
 };
 
 LoadCfg parse_load_flags(int argc, char** argv) {
@@ -54,9 +59,12 @@ LoadCfg parse_load_flags(int argc, char** argv) {
     else if (a == "--requests") cfg.requests = static_cast<unsigned>(std::atoi(next()));
     else if (a == "--values") cfg.values = std::strtoull(next(), nullptr, 10);
     else if (a == "--host") cfg.host = next();
+    else if (a == "--dup-ratio") cfg.dup_ratio = std::atof(next());
+    else if (a == "--cache-mb") cfg.cache_mb = static_cast<unsigned>(std::atoi(next()));
   }
   if (cfg.clients == 0) cfg.clients = 1;
   if (cfg.requests == 0) cfg.requests = 1;
+  cfg.dup_ratio = std::min(1.0, std::max(0.0, cfg.dup_ratio));
   return cfg;
 }
 
@@ -96,22 +104,31 @@ WorkerResult run_client(const LoadCfg& cfg, const std::string& host, u16 port,
 
   const std::vector<float> f32 = make_signal<float>(cfg.values, id);
   const std::vector<double> f64 = make_signal<double>(cfg.values, id);
+  // The canonical duplicate request: every client resends this exact
+  // (payload, dtype, eb, eps) combination for its --dup-ratio fraction, so
+  // a server-side chunk store sees one content key across the whole fleet.
+  const std::vector<float> dup_payload = make_signal<float>(cfg.values, /*seed=*/0);
 
   static constexpr EbType kEbs[] = {EbType::ABS, EbType::REL, EbType::NOA};
   static constexpr double kEps[] = {1e-2, 1e-3, 1e-4};
 
   for (unsigned q = 0; q < cfg.requests; ++q) {
-    const DType dtype = ((id + q) % 2) ? DType::F64 : DType::F32;
-    const EbType eb = kEbs[(id + q) % 3];
-    const double eps = kEps[q % 3];
-    const void* raw = dtype == DType::F32 ? static_cast<const void*>(f32.data())
+    // Deterministic, interleaved dup/unique choice (multiplicative hash so
+    // the duplicates spread across the run instead of front-loading).
+    const bool dup = static_cast<double>((id * 7919u + q * 104729u) % 1000) <
+                     cfg.dup_ratio * 1000.0;
+    const DType dtype = dup ? DType::F32 : (((id + q) % 2) ? DType::F64 : DType::F32);
+    const EbType eb = dup ? EbType::ABS : kEbs[(id + q) % 3];
+    const double eps = dup ? 1e-3 : kEps[q % 3];
+    const std::vector<float>& f32_src = dup ? dup_payload : f32;
+    const void* raw = dtype == DType::F32 ? static_cast<const void*>(f32_src.data())
                                           : static_cast<const void*>(f64.data());
     const std::size_t raw_n = cfg.values * dtype_size(dtype);
     try {
       pfpl::Params params;
       params.eb = eb;
       params.eps = eps;
-      const Field field = dtype == DType::F32 ? Field(f32.data(), f32.size())
+      const Field field = dtype == DType::F32 ? Field(f32_src.data(), f32_src.size())
                                               : Field(f64.data(), f64.size());
       const Bytes local = pfpl::compress(field, params);
 
@@ -168,15 +185,24 @@ int main(int argc, char** argv) {
   u16 port = 0;
   if (cfg.host.empty()) {
     net::Server::Options sopts;
+    if (cfg.cache_mb) {
+      store::ChunkStore::Options so;
+      so.cache.byte_budget = static_cast<std::size_t>(cfg.cache_mb) << 20;
+      sopts.store = std::make_shared<store::ChunkStore>(so);
+    }
     server = std::make_unique<net::Server>(sopts);
     port = server->port();
     server_thread = std::thread([&] { server->run(); });
   } else {
     net::split_host_port(cfg.host, host, port);
   }
-  std::fprintf(stderr, "loadgen: %u clients x %u requests x %zu values -> %s:%u%s\n",
-               cfg.clients, cfg.requests, cfg.values, host.c_str(),
-               static_cast<unsigned>(port),
+  std::string cache_part;
+  if (cfg.cache_mb) cache_part = ", cache " + std::to_string(cfg.cache_mb) + "MB";
+  std::fprintf(stderr,
+               "loadgen: %u clients x %u requests x %zu values "
+               "(dup-ratio %.2f%s) -> %s:%u%s\n",
+               cfg.clients, cfg.requests, cfg.values, cfg.dup_ratio,
+               cache_part.c_str(), host.c_str(), static_cast<unsigned>(port),
                server ? " (in-process server)" : "");
 
   std::vector<WorkerResult> results(cfg.clients);

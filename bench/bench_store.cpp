@@ -1,0 +1,253 @@
+// bench_store — tiered chunk-store benchmark (cold / warm / reopen + dup sweep).
+//
+// Exercises store::ChunkStore the way `pfpl serve --store` does:
+//
+//   cold    — every chunk is new: compress, then put() into cache + segment log
+//   warm    — same keys again: every get() answers from the in-memory cache
+//   reopen  — fresh ChunkStore on the same directory (cold cache): every
+//             get() answers from the persistent PFPS segment log
+//
+// plus a dup-ratio sweep (0 / 0.5 / 1.0) over a memory-only store showing how
+// effective-throughput scales with content duplication. Every stream fetched
+// from cache or log is checked byte-identical to the cold compression, so the
+// bench doubles as the dedup-correctness test.
+//
+//   bench_store                           # 32 chunks x 16384 values
+//   bench_store --chunks 64 --values 65536 --min-speedup 5
+//   bench_store --update-baseline --baseline BENCH_baseline.json
+//
+// Exit codes: 0 ok, 1 byte mismatch / verify failure / speedup below
+// --min-speedup, 3 failed --gate.
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "core/pfpl.hpp"
+#include "harness.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+#include "store/store.hpp"
+
+#ifdef _WIN32
+#include <process.h>
+#define getpid _getpid
+#else
+#include <unistd.h>
+#endif
+
+using namespace repro;
+
+namespace {
+
+struct StoreCfg {
+  std::size_t values = 16384;  ///< scalars per chunk
+  unsigned chunks = 32;        ///< distinct chunks in the working set
+  double min_speedup = 5.0;    ///< required warm-vs-cold throughput ratio
+};
+
+StoreCfg parse_store_flags(int argc, char** argv) {
+  StoreCfg cfg;
+  for (int i = 1; i < argc; ++i) {
+    std::string a = argv[i];
+    auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : "0"; };
+    if (a == "--values") cfg.values = std::strtoull(next(), nullptr, 10);
+    else if (a == "--chunks") cfg.chunks = static_cast<unsigned>(std::atoi(next()));
+    else if (a == "--min-speedup") cfg.min_speedup = std::atof(next());
+  }
+  if (cfg.values == 0) cfg.values = 1;
+  if (cfg.chunks == 0) cfg.chunks = 1;
+  return cfg;
+}
+
+std::vector<float> make_chunk(std::size_t n, unsigned seed) {
+  std::vector<float> v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double x = static_cast<double>(i) * 0.001 + seed * 0.37;
+    v[i] = static_cast<float>(std::sin(x) * 100.0 + std::cos(3.0 * x) + seed);
+  }
+  return v;
+}
+
+double now_s() {
+  using clock = std::chrono::steady_clock;
+  return std::chrono::duration<double>(clock::now().time_since_epoch()).count();
+}
+
+constexpr double kEps = 1e-3;
+
+/// Push cfg.chunks requests through the store; chunks not yet stored are
+/// compressed and put(). Returns elapsed seconds; appends each job's stream
+/// to `streams` (for byte-identity checks) when non-null.
+double run_pass(const StoreCfg& cfg, store::ChunkStore& cs,
+                const std::vector<std::vector<float>>& fields,
+                std::vector<Bytes>* streams, u64* raw_bytes, u64* comp_bytes) {
+  const double t0 = now_s();
+  for (unsigned c = 0; c < cfg.chunks; ++c) {
+    const std::vector<float>& f = fields[c];
+    const std::size_t raw_n = f.size() * sizeof(float);
+    const common::Hash128 key =
+        store::compress_key(f.data(), raw_n, DType::F32, EbType::ABS, kEps);
+    Bytes stream;
+    if (!cs.get(key, stream)) {
+      pfpl::Params params;
+      params.eps = kEps;
+      stream = pfpl::compress(Field(f.data(), f.size()), params);
+      cs.put(key, stream, store::ChunkMeta{DType::F32, EbType::ABS, kEps, raw_n});
+    }
+    if (raw_bytes) *raw_bytes += raw_n;
+    if (comp_bytes) *comp_bytes += stream.size();
+    if (streams) streams->push_back(std::move(stream));
+  }
+  return now_s() - t0;
+}
+
+bench::Row make_row(const char* name, double eb, double seconds, u64 raw_bytes,
+                    u64 comp_bytes) {
+  bench::Row row;
+  row.compressor = name;
+  row.eb = eb;
+  row.ratio = comp_bytes ? static_cast<double>(raw_bytes) / comp_bytes : 0.0;
+  row.comp_mbps = seconds > 0 ? raw_bytes / (1024.0 * 1024.0) / seconds : 0.0;
+  return row;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::SweepConfig base;
+  bench::SweepConfig sweep = bench::parse_args(argc, argv, base);
+  (void)sweep;
+  const StoreCfg cfg = parse_store_flags(argc, argv);
+  obs::set_enabled(true);
+
+  namespace fs = std::filesystem;
+  const fs::path dir =
+      fs::temp_directory_path() /
+      ("pfpl_bench_store_" + std::to_string(static_cast<long long>(getpid())));
+  std::error_code ec;
+  fs::remove_all(dir, ec);
+
+  std::vector<std::vector<float>> fields;
+  fields.reserve(cfg.chunks);
+  for (unsigned c = 0; c < cfg.chunks; ++c)
+    fields.push_back(make_chunk(cfg.values, c));
+
+  std::fprintf(stderr, "bench_store: %u chunks x %zu values, store at %s\n",
+               cfg.chunks, cfg.values, dir.string().c_str());
+
+  int mismatches = 0;
+  std::vector<bench::Row> rows;
+
+  // ---- cold / warm / reopen over a persistent store --------------------
+  std::vector<Bytes> cold_streams, warm_streams, reopen_streams;
+  double cold_s = 0, warm_s = 0, reopen_s = 0;
+  u64 raw_bytes = 0, comp_bytes = 0;
+  {
+    store::ChunkStore::Options so;
+    so.dir = dir.string();
+    store::ChunkStore cs(so);
+    cold_s = run_pass(cfg, cs, fields, &cold_streams, &raw_bytes, &comp_bytes);
+    warm_s = run_pass(cfg, cs, fields, &warm_streams, nullptr, nullptr);
+    cs.sync();
+  }
+  {
+    // Fresh process-equivalent: empty cache, everything served off the log.
+    store::ChunkStore::Options so;
+    so.dir = dir.string();
+    store::ChunkStore cs(so);
+    reopen_s = run_pass(cfg, cs, fields, &reopen_streams, nullptr, nullptr);
+    const store::SegmentStore::VerifyReport rep = cs.log()->verify();
+    if (!rep.ok()) {
+      std::fprintf(stderr, "bench_store: verify FAILED: %zu corrupt frame(s)\n",
+                   rep.corrupt_frames);
+      ++mismatches;
+    }
+  }
+  for (unsigned c = 0; c < cfg.chunks; ++c) {
+    if (warm_streams[c] != cold_streams[c]) {
+      std::fprintf(stderr, "bench_store: chunk %u: warm stream differs from cold\n", c);
+      ++mismatches;
+    }
+    if (reopen_streams[c] != cold_streams[c]) {
+      std::fprintf(stderr, "bench_store: chunk %u: reopen stream differs from cold\n", c);
+      ++mismatches;
+    }
+  }
+  rows.push_back(make_row("PFPS_cold", 0, cold_s, raw_bytes, comp_bytes));
+  rows.push_back(make_row("PFPS_warm", 0, warm_s, raw_bytes, comp_bytes));
+  rows.push_back(make_row("PFPS_reopen", 0, reopen_s, raw_bytes, comp_bytes));
+
+  const double speedup = cold_s > 0 && warm_s > 0 ? cold_s / warm_s : 0.0;
+  std::fprintf(stderr,
+               "bench_store: cold %.1f MB/s, warm %.1f MB/s (%.1fx), "
+               "reopen %.1f MB/s\n",
+               rows[0].comp_mbps, rows[1].comp_mbps, speedup, rows[2].comp_mbps);
+  if (speedup < cfg.min_speedup) {
+    std::fprintf(stderr,
+                 "bench_store: warm/cold speedup %.1fx below required %.1fx\n",
+                 speedup, cfg.min_speedup);
+    ++mismatches;
+  }
+
+  // ---- dup-ratio sweep over a memory-only store ------------------------
+  // A request stream where `ratio` of the requests resend chunk 0's bytes;
+  // effective throughput rises with the duplicate fraction because those
+  // requests skip the compressor entirely.
+  for (double dup : {0.0, 0.5, 1.0}) {
+    store::ChunkStore cs(store::ChunkStore::Options{});
+    u64 dr = 0, dc = 0;
+    const double t0 = now_s();
+    for (unsigned c = 0; c < cfg.chunks; ++c) {
+      const bool is_dup =
+          static_cast<double>((c * 104729u) % 1000) < dup * 1000.0;
+      const std::vector<float>& f = fields[is_dup ? 0 : c];
+      const std::size_t raw_n = f.size() * sizeof(float);
+      const common::Hash128 key =
+          store::compress_key(f.data(), raw_n, DType::F32, EbType::ABS, kEps);
+      Bytes stream;
+      if (!cs.get(key, stream)) {
+        pfpl::Params params;
+        params.eps = kEps;
+        stream = pfpl::compress(Field(f.data(), f.size()), params);
+        cs.put(key, stream, store::ChunkMeta{DType::F32, EbType::ABS, kEps, raw_n});
+      }
+      dr += raw_n;
+      dc += stream.size();
+    }
+    const double secs = now_s() - t0;
+    rows.push_back(make_row("PFPS_dup", dup, secs, dr, dc));
+    const store::ResultCache::Stats st = cs.cache().stats();
+    std::fprintf(stderr,
+                 "bench_store: dup %.1f: %.1f MB/s, cache %llu hits / %llu misses\n",
+                 dup, rows.back().comp_mbps,
+                 static_cast<unsigned long long>(st.hits),
+                 static_cast<unsigned long long>(st.misses));
+  }
+
+  bench::print_rows("Store", rows);
+  obs::RunReport::global().add_section("store_cold_warm", [&] {
+    obs::JsonWriter w;
+    w.begin_object();
+    w.kv("chunks", cfg.chunks);
+    w.kv("values", static_cast<unsigned long long>(cfg.values));
+    w.kv("cold_s", cold_s);
+    w.kv("warm_s", warm_s);
+    w.kv("reopen_s", reopen_s);
+    w.kv("warm_speedup", speedup);
+    w.kv("mismatches", mismatches);
+    w.end_object();
+    return w.take();
+  }());
+
+  fs::remove_all(dir, ec);
+
+  const int gate_rc = bench::finish();
+  if (mismatches) return 1;
+  return gate_rc;
+}

@@ -54,6 +54,7 @@
 #include "obs/metrics.hpp"
 #include "obs/report.hpp"
 #include "obs/trace.hpp"
+#include "store/store.hpp"
 #include "svc/archive.hpp"
 #include "svc/batch.hpp"
 
@@ -72,6 +73,7 @@ namespace {
                "  pfpl pack <out.pfpa> <in1.raw> [in2.raw ...] --dtype f32|f64\n"
                "       --eb abs|rel|noa --eps <e> [--threads N] [--exec serial|omp|gpusim]\n"
                "       [--audit]   # re-verify every packed entry, exit 3 on violation\n"
+               "       [--store DIR]   # reuse/fill a PFPS chunk store\n"
                "  pfpl unpack <in.pfpa> <outdir> [--entry NAME]\n"
                "  pfpl list <in.pfpa>\n"
                "  pfpl stats <in.pfpa|in.pfpl> [--json]\n"
@@ -79,10 +81,17 @@ namespace {
                "       [--eb abs|rel|noa] [--eps <e>] [--exec serial|omp|gpusim]\n"
                "  pfpl serve [--port N] [--bind ADDR] [--threads N]\n"
                "       [--max-inflight BYTES] [--exec serial|omp|gpusim]\n"
+               "       [--store DIR] [--cache-mb N]   # answer repeats from the chunk store\n"
                "  pfpl remote compress <in.raw> <out.pfpl> --host H:P --dtype f32|f64\n"
                "       --eb abs|rel|noa --eps <e>\n"
                "  pfpl remote decompress <in.pfpl> <out.raw> --host H:P\n"
                "  pfpl remote stats|ping|shutdown --host H:P [--timeout-ms N]\n"
+               "  pfpl store put <in.raw> --store DIR --dtype f32|f64 --eb abs|rel|noa\n"
+               "       --eps <e> [--exec serial|omp|gpusim]\n"
+               "  pfpl store get <key> <out.pfpl> --store DIR\n"
+               "  pfpl store ls --store DIR\n"
+               "  pfpl store compact --store DIR\n"
+               "  pfpl store verify --store DIR    # exit 1 on corrupt frames\n"
                "observability (any verb): --trace FILE  --metrics  --report FILE\n");
   std::exit(2);
 }
@@ -162,6 +171,9 @@ struct Flags {
   unsigned port = 0;                ///< `pfpl serve --port N` (0 = ephemeral)
   std::size_t max_inflight = 0;     ///< `pfpl serve --max-inflight BYTES` (0 = default)
   int timeout_ms = 0;               ///< `pfpl remote --timeout-ms N` (0 = default)
+  // PFPS chunk store (`pfpl serve|pack|store`).
+  std::string store_dir;            ///< `--store DIR` (empty = no persistence)
+  unsigned cache_mb = 0;            ///< `--cache-mb N` (0 = default 64)
 };
 
 /// Parse `--flag value` pairs from argv[first..); non-flag arguments are
@@ -240,6 +252,17 @@ Flags parse_flags(int argc, char** argv, int first, std::vector<std::string>* po
       } catch (const std::exception&) {
         throw CompressionError("invalid value for --max-inflight: '" + v + "'");
       }
+    } else if (a == "--store") {
+      fl.store_dir = need("--store");
+    } else if (a == "--cache-mb") {
+      std::string v = need("--cache-mb");
+      try {
+        fl.cache_mb = static_cast<unsigned>(std::stoul(v));
+        if (fl.cache_mb == 0) throw CompressionError("");
+      } catch (const std::exception&) {
+        throw CompressionError("invalid value for --cache-mb: '" + v +
+                               "' (expected a positive MiB count)");
+      }
     } else if (a == "--timeout-ms") {
       std::string v = need("--timeout-ms");
       try {
@@ -296,9 +319,22 @@ int cmd_pack(const std::vector<std::string>& positional, const Flags& fl) {
     raws.push_back(io::read_file(positional[i]));
     jobs.push_back({names[i - 1], make_field(raws.back(), fl.dtype), fl.params});
   }
-  svc::BatchCompressor batch({.threads = fl.threads, .audit = fl.audit});
+  std::unique_ptr<store::ChunkStore> chunk_store;
+  if (!fl.store_dir.empty()) {
+    store::ChunkStore::Options so;
+    so.dir = fl.store_dir;
+    if (fl.cache_mb) so.cache.byte_budget = static_cast<std::size_t>(fl.cache_mb) << 20;
+    chunk_store = std::make_unique<store::ChunkStore>(so);
+  }
+  svc::BatchCompressor batch(
+      {.threads = fl.threads, .audit = fl.audit, .store = chunk_store.get()});
   std::vector<svc::JobResult> results = batch.run(jobs);
-  if (obs::enabled()) obs::RunReport::global().add_section("svc", batch.stats().json());
+  if (chunk_store) chunk_store->sync();
+  if (obs::enabled()) {
+    obs::RunReport::global().add_section("svc", batch.stats().json());
+    if (chunk_store)
+      obs::RunReport::global().add_section("store", chunk_store->stats_json());
+  }
   int failed = 0;
   u64 audit_violations = 0;
   svc::ArchiveWriter writer(out_path);
@@ -473,6 +509,14 @@ int cmd_serve(const std::vector<std::string>& positional, const Flags& fl) {
   opts.threads = fl.threads;
   if (fl.max_inflight) opts.max_inflight_bytes = fl.max_inflight;
   opts.exec = fl.params.exec;
+  if (!fl.store_dir.empty() || fl.cache_mb) {
+    // --store DIR enables the persistent tier; --cache-mb alone runs a
+    // memory-only result cache in front of the workers.
+    store::ChunkStore::Options so;
+    so.dir = fl.store_dir;
+    if (fl.cache_mb) so.cache.byte_budget = static_cast<std::size_t>(fl.cache_mb) << 20;
+    opts.store = std::make_shared<store::ChunkStore>(so);
+  }
   net::Server server(opts);
   g_serving = &server;
   std::signal(SIGINT, serve_signal_handler);
@@ -482,6 +526,11 @@ int cmd_serve(const std::vector<std::string>& positional, const Flags& fl) {
   std::printf("pfpl: serving on %s:%u (threads=%u, exec=%s, max-inflight=%zu)\n",
               opts.bind_host.c_str(), static_cast<unsigned>(server.port()),
               opts.threads, to_string(opts.exec), opts.max_inflight_bytes);
+  if (opts.store)
+    std::printf("pfpl: chunk store: cache=%zuMB%s%s\n",
+                opts.store->cache().byte_budget() >> 20,
+                opts.store->persistent() ? " dir=" : " (memory only)",
+                fl.store_dir.c_str());
   std::fflush(stdout);
   server.run();
   std::signal(SIGINT, SIG_DFL);
@@ -497,6 +546,12 @@ int cmd_serve(const std::vector<std::string>& positional, const Flags& fl) {
               static_cast<unsigned long long>(st.errors),
               static_cast<unsigned long long>(st.bytes_rx),
               static_cast<unsigned long long>(st.bytes_tx));
+  if (opts.store) {
+    opts.store->sync();
+    std::printf("pfpl: chunk store: %llu hits, %llu misses\n",
+                static_cast<unsigned long long>(st.store_hits),
+                static_cast<unsigned long long>(st.store_misses));
+  }
   if (obs::enabled()) obs::RunReport::global().add_section("net", server.stats_json());
   return 0;
 }
@@ -553,6 +608,107 @@ int cmd_remote(const std::vector<std::string>& positional, const Flags& fl) {
   usage();
 }
 
+/// `pfpl store put/get/ls/compact/verify` — operate a PFPS store directly.
+int cmd_store(const std::vector<std::string>& positional, const Flags& fl) {
+  if (positional.empty()) usage();
+  const std::string& verb = positional[0];
+  if (fl.store_dir.empty()) {
+    std::fprintf(stderr, "pfpl store: --store DIR is required\n");
+    usage();
+  }
+  store::ChunkStore::Options so;
+  so.dir = fl.store_dir;
+  if (fl.cache_mb) so.cache.byte_budget = static_cast<std::size_t>(fl.cache_mb) << 20;
+  store::ChunkStore cs(so);
+  store::SegmentStore& log = *cs.log();
+
+  if (verb == "put") {
+    if (positional.size() != 2) usage();
+    std::vector<u8> raw = io::read_file(positional[1]);
+    const common::Hash128 key = store::compress_key(raw.data(), raw.size(), fl.dtype,
+                                                    fl.params.eb, fl.params.eps);
+    Bytes cached;
+    if (cs.get(key, cached)) {
+      std::printf("%s: already stored (%zu bytes)\n", key.hex().c_str(), cached.size());
+      return 0;
+    }
+    Bytes stream = pfpl::compress(make_field(raw, fl.dtype), fl.params);
+    cs.put(key, stream,
+           store::ChunkMeta{fl.dtype, fl.params.eb, fl.params.eps, raw.size()});
+    cs.sync();
+    std::printf("%s: stored %zu -> %zu bytes (ratio %.3f)\n", key.hex().c_str(),
+                raw.size(), stream.size(),
+                stream.empty() ? 0.0
+                               : static_cast<double>(raw.size()) /
+                                     static_cast<double>(stream.size()));
+    return 0;
+  }
+  if (verb == "get") {
+    if (positional.size() != 3) usage();
+    common::Hash128 key;
+    if (!common::Hash128::parse(positional[1], key))
+      throw CompressionError("store: '" + positional[1] +
+                             "' is not a 32-hex-digit chunk key");
+    Bytes payload;
+    if (!cs.get(key, payload))
+      throw CompressionError("store: no chunk with key " + positional[1]);
+    io::write_file(positional[2], payload.data(), payload.size());
+    std::printf("%s: %zu bytes -> %s\n", positional[1].c_str(), payload.size(),
+                positional[2].c_str());
+    return 0;
+  }
+  if (positional.size() != 1) usage();
+  if (verb == "ls") {
+    std::printf("%-32s %-5s %-4s %-10s %12s %10s %8s\n", "key", "dtype", "eb", "eps",
+                "raw", "stored", "segment");
+    u64 total_payload = 0;
+    for (const store::StoredChunk& e : log.entries()) {
+      std::printf("%-32s %-5s %-4s %-10g %12llu %10llu %8llu\n", e.key.hex().c_str(),
+                  to_string(e.meta.dtype), to_string(e.meta.eb), e.meta.eps,
+                  static_cast<unsigned long long>(e.meta.raw_size),
+                  static_cast<unsigned long long>(e.payload_len),
+                  static_cast<unsigned long long>(e.segment));
+      total_payload += e.payload_len;
+    }
+    std::printf("%zu entries, %llu payload bytes, %llu live + %llu dead frame bytes, "
+                "generation %llu\n",
+                log.entry_count(), static_cast<unsigned long long>(total_payload),
+                static_cast<unsigned long long>(log.live_bytes()),
+                static_cast<unsigned long long>(log.dead_bytes()),
+                static_cast<unsigned long long>(log.generation()));
+    return 0;
+  }
+  if (verb == "compact") {
+    const store::SegmentStore::CompactReport rep = log.compact();
+    std::printf("compacted %llu -> %llu segments, %llu -> %llu bytes "
+                "(%llu reclaimed), %llu live entries\n",
+                static_cast<unsigned long long>(rep.segments_before),
+                static_cast<unsigned long long>(rep.segments_after),
+                static_cast<unsigned long long>(rep.bytes_before),
+                static_cast<unsigned long long>(rep.bytes_after),
+                static_cast<unsigned long long>(rep.reclaimed_bytes),
+                static_cast<unsigned long long>(rep.live_entries));
+    return 0;
+  }
+  if (verb == "verify") {
+    const store::SegmentStore::OpenReport& orep = log.open_report();
+    if (orep.torn_bytes)
+      std::printf("recovery: truncated %llu torn byte(s) off the active segment\n",
+                  static_cast<unsigned long long>(orep.torn_bytes));
+    if (orep.manifest_recovered)
+      std::printf("recovery: manifest was missing/corrupt, rebuilt from scan\n");
+    const store::SegmentStore::VerifyReport rep = log.verify();
+    std::printf("%llu segment(s), %llu frame(s) ok, %llu corrupt, %llu bytes scanned\n",
+                static_cast<unsigned long long>(rep.segments),
+                static_cast<unsigned long long>(rep.frames_ok),
+                static_cast<unsigned long long>(rep.corrupt_frames),
+                static_cast<unsigned long long>(rep.bytes_scanned));
+    std::printf("store: %s\n", rep.ok() ? "OK" : "CORRUPT");
+    return rep.ok() ? 0 : 1;
+  }
+  usage();
+}
+
 int run_command(int argc, char** argv) {
   if (argc < 2) usage();
   std::string mode = argv[1];
@@ -561,7 +717,7 @@ int run_command(int argc, char** argv) {
   if (mode != "audit" && mode != "serve" && argc < 3) usage();
   try {
     if (mode == "pack" || mode == "unpack" || mode == "list" || mode == "stats" ||
-        mode == "audit" || mode == "serve" || mode == "remote") {
+        mode == "audit" || mode == "serve" || mode == "remote" || mode == "store") {
       std::vector<std::string> positional;
       Flags fl = parse_flags(argc, argv, 2, &positional);
       if (mode == "pack") return cmd_pack(positional, fl);
@@ -570,6 +726,7 @@ int run_command(int argc, char** argv) {
       if (mode == "audit") return cmd_audit(positional, fl);
       if (mode == "serve") return cmd_serve(positional, fl);
       if (mode == "remote") return cmd_remote(positional, fl);
+      if (mode == "store") return cmd_store(positional, fl);
       return cmd_list(positional);
     }
     if (mode == "info") {

@@ -65,10 +65,8 @@ Frame Client::roundtrip_once(const FrameHeader& h, const void* payload, std::siz
     throw NetError("PFPN: response payload CRC mismatch");
   if (rh.status != static_cast<u16>(Status::Ok)) {
     const std::string text(out.payload.begin(), out.payload.end());
-    throw RemoteError(rh.status,
-                      std::string("PFPN: server error ") +
-                          to_string(static_cast<Status>(rh.status)) +
-                          (text.empty() ? "" : ": " + text));
+    throw RemoteError(rh.status, "PFPN: server error " + status_name(rh.status) +
+                                     (text.empty() ? "" : ": " + text));
   }
   return out;
 }

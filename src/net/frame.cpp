@@ -67,15 +67,20 @@ const char* to_string(Op op) {
 
 const char* to_string(Status st) {
   switch (st) {
-    case Status::Ok: return "OK";
-    case Status::BadFrame: return "BAD_FRAME";
-    case Status::CrcMismatch: return "CRC_MISMATCH";
-    case Status::BadParams: return "BAD_PARAMS";
-    case Status::CompressFailed: return "COMPRESS_FAILED";
-    case Status::TooLarge: return "TOO_LARGE";
-    case Status::Draining: return "DRAINING";
+    case Status::Ok: return "Ok";
+    case Status::BadFrame: return "BadFrame";
+    case Status::CrcMismatch: return "CrcMismatch";
+    case Status::BadParams: return "BadParams";
+    case Status::CompressFailed: return "CompressFailed";
+    case Status::TooLarge: return "TooLarge";
+    case Status::Draining: return "Draining";
   }
-  return "?";
+  return nullptr;
+}
+
+std::string status_name(u16 st) {
+  if (const char* name = to_string(static_cast<Status>(st))) return name;
+  return "Status" + std::to_string(st);
 }
 
 Bytes encode_frame(FrameHeader h, const void* payload, std::size_t n) {

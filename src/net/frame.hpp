@@ -78,6 +78,11 @@ enum class Status : u16 {
 const char* to_string(Op op);
 const char* to_string(Status st);
 
+/// Name for a wire-level status value, including ones this build does not
+/// know: known codes render as the enumerator name ("CrcMismatch"), unknown
+/// ones as "Status<N>" — so error messages from newer peers stay readable.
+std::string status_name(u16 st);
+
 /// Decoded frame header (wire layout in docs/FORMAT.md §PFPN).
 struct FrameHeader {
   u8 op = 0;          ///< Op value; responses set kResponseBit

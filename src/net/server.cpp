@@ -20,6 +20,7 @@
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "store/store.hpp"
 #include "svc/thread_pool.hpp"
 
 namespace repro::net {
@@ -35,6 +36,8 @@ struct NetMetrics {
   obs::Counter& bytes_tx;
   obs::Counter& requests;
   obs::Counter& errors;
+  obs::Counter& store_hits;
+  obs::Counter& store_misses;
   obs::Gauge& connections;
   obs::Gauge& inflight_bytes;
   obs::Histogram& request_us;
@@ -49,6 +52,8 @@ struct NetMetrics {
                         r.counter("net.bytes_tx"),
                         r.counter("net.requests"),
                         r.counter("net.errors"),
+                        r.counter("net.store_hits"),
+                        r.counter("net.store_misses"),
                         r.gauge("net.connections"),
                         r.gauge("net.inflight_bytes"),
                         r.histogram("net.request_us"),
@@ -122,7 +127,8 @@ struct Server::Impl {
     std::atomic<u64> connections_accepted{0}, connections_current{0};
     std::atomic<u64> frames_rx{0}, frames_tx{0}, bytes_rx{0}, bytes_tx{0};
     std::atomic<u64> requests_compress{0}, requests_decompress{0}, requests_other{0};
-    std::atomic<u64> errors{0}, inflight_bytes{0}, peak_inflight_bytes{0};
+    std::atomic<u64> errors{0}, store_hits{0}, store_misses{0};
+    std::atomic<u64> inflight_bytes{0}, peak_inflight_bytes{0};
     std::atomic<bool> draining{false};
   } st;
 
@@ -163,6 +169,8 @@ struct Server::Impl {
     out.requests_decompress = st.requests_decompress.load(std::memory_order_relaxed);
     out.requests_other = st.requests_other.load(std::memory_order_relaxed);
     out.errors = st.errors.load(std::memory_order_relaxed);
+    out.store_hits = st.store_hits.load(std::memory_order_relaxed);
+    out.store_misses = st.store_misses.load(std::memory_order_relaxed);
     out.inflight_bytes = st.inflight_bytes.load(std::memory_order_relaxed);
     out.peak_inflight_bytes = st.peak_inflight_bytes.load(std::memory_order_relaxed);
     out.draining = st.draining.load(std::memory_order_relaxed);
@@ -195,8 +203,26 @@ struct Server::Impl {
     w.kv("errors", static_cast<unsigned long long>(s.errors));
     w.kv("inflight_bytes", static_cast<unsigned long long>(s.inflight_bytes));
     w.kv("peak_inflight_bytes", static_cast<unsigned long long>(s.peak_inflight_bytes));
+    if (opts.store) {
+      w.kv("store_hits", static_cast<unsigned long long>(s.store_hits));
+      w.kv("store_misses", static_cast<unsigned long long>(s.store_misses));
+      w.key("store").raw(opts.store->stats_json());
+    }
     w.end_object();
     return w.take();
+  }
+
+  /// Per-request store outcome, from worker threads (atomics only).
+  void note_store_lookup(const store::ChunkStore* cs, bool hit) {
+    if (!cs) return;
+    NetMetrics& m = NetMetrics::get();
+    if (hit) {
+      st.store_hits.fetch_add(1, std::memory_order_relaxed);
+      m.store_hits.add(1);
+    } else {
+      st.store_misses.fetch_add(1, std::memory_order_relaxed);
+      m.store_misses.add(1);
+    }
   }
 
   // -- in-flight accounting ------------------------------------------------
@@ -273,10 +299,11 @@ struct Server::Impl {
     NetMetrics::get().requests.add(1);
     auto payload = std::make_shared<Bytes>(std::move(f.payload));
     const pfpl::Executor exec = opts.exec;
+    store::ChunkStore* cs = opts.store.get();  // opts outlives the pool
     const u64 conn_id = c.id;
     const u64 t0 = now_ns();
     Impl* self = this;
-    pool->submit([self, payload, h, exec, conn_id, t0, n] {
+    pool->submit([self, payload, h, exec, cs, conn_id, t0, n] {
       Completion comp;
       comp.conn_id = conn_id;
       comp.release = n;
@@ -285,13 +312,28 @@ struct Server::Impl {
       try {
         test_slowdown();
         if (h.base_op() == static_cast<u8>(Op::Compress)) {
-          Field field = h.dtype == static_cast<u8>(DType::F64)
-                            ? Field(reinterpret_cast<const double*>(payload->data()),
-                                    payload->size() / 8)
-                            : Field(reinterpret_cast<const float*>(payload->data()),
-                                    payload->size() / 4);
-          pfpl::Params params{h.eps, static_cast<EbType>(h.eb_type), exec};
-          Bytes stream = pfpl::compress(field, params);
+          const common::Hash128 key =
+              cs ? store::compress_key(payload->data(), payload->size(),
+                                       static_cast<DType>(h.dtype),
+                                       static_cast<EbType>(h.eb_type), h.eps)
+                 : common::Hash128{};
+          Bytes stream;
+          const bool hit = cs && cs->get(key, stream);
+          if (!hit) {
+            Field field = h.dtype == static_cast<u8>(DType::F64)
+                              ? Field(reinterpret_cast<const double*>(payload->data()),
+                                      payload->size() / 8)
+                              : Field(reinterpret_cast<const float*>(payload->data()),
+                                      payload->size() / 4);
+            pfpl::Params params{h.eps, static_cast<EbType>(h.eb_type), exec};
+            stream = pfpl::compress(field, params);
+            if (cs)
+              cs->put(key, stream,
+                      store::ChunkMeta{static_cast<DType>(h.dtype),
+                                       static_cast<EbType>(h.eb_type), h.eps,
+                                       payload->size()});
+          }
+          self->note_store_lookup(cs, hit);
           FrameHeader rh;
           rh.op = h.op | kResponseBit;
           rh.request_id = h.request_id;
@@ -301,7 +343,18 @@ struct Server::Impl {
           comp.frame = encode_frame(rh, stream);
         } else {
           pfpl::Header sh = pfpl::peek_header(*payload);
-          std::vector<u8> raw = pfpl::decompress(*payload, exec);
+          const common::Hash128 key =
+              cs ? store::decompress_key(payload->data(), payload->size())
+                 : common::Hash128{};
+          Bytes raw;
+          const bool hit = cs && cs->get(key, raw);
+          if (!hit) {
+            raw = pfpl::decompress(*payload, exec);
+            if (cs)
+              cs->put(key, raw,
+                      store::ChunkMeta{sh.dtype, sh.eb_type, sh.eps, raw.size()});
+          }
+          self->note_store_lookup(cs, hit);
           FrameHeader rh;
           rh.op = h.op | kResponseBit;
           rh.request_id = h.request_id;

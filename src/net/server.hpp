@@ -16,7 +16,7 @@
 //     reads. A single request larger than the whole budget is admitted alone
 //     (mirroring svc's ByteBudget) so it cannot deadlock.
 //   * Graceful drain (SIGINT via request_stop(), or a SHUTDOWN frame): stop
-//     accepting connections, answer new requests with a typed DRAINING
+//     accepting connections, answer new requests with a typed Draining
 //     error, let in-flight requests finish and their responses flush, then
 //     close everything and return from run(). A peer that refuses to read
 //     its responses is cut off after `drain_timeout_ms`.
@@ -35,6 +35,10 @@
 #include "core/pfpl.hpp"
 #include "net/socket.hpp"
 
+namespace repro::store {
+class ChunkStore;
+}
+
 namespace repro::net {
 
 class Server {
@@ -48,6 +52,11 @@ class Server {
     std::size_t queue_capacity = 4096;            ///< pool bounded queue
     int drain_timeout_ms = 5000;                  ///< flush deadline on drain
     pfpl::Executor exec = pfpl::Executor::Serial;
+    /// Optional PFPS chunk store: COMPRESS/DECOMPRESS answers are looked up
+    /// by content hash before dispatching to the pool, and computed results
+    /// are stored back. Shared so the CLI can keep a handle for shutdown
+    /// stats. Null = no store (compute every request).
+    std::shared_ptr<store::ChunkStore> store;
   };
 
   /// Plain-atomic service counters (live regardless of obs::enabled(), so
@@ -63,6 +72,8 @@ class Server {
     u64 requests_decompress = 0;
     u64 requests_other = 0;   ///< STATS/PING/SHUTDOWN
     u64 errors = 0;           ///< typed error frames sent
+    u64 store_hits = 0;       ///< requests answered from the chunk store
+    u64 store_misses = 0;     ///< requests that had to compute (store attached)
     u64 inflight_bytes = 0;
     u64 peak_inflight_bytes = 0;
     bool draining = false;

@@ -1,0 +1,140 @@
+#include "store/cache.hpp"
+
+#include <algorithm>
+
+#include "obs/metrics.hpp"
+
+namespace repro::store {
+namespace {
+
+/// store.cache.* metric handles, resolved once (obs/metrics.hpp pattern).
+struct CacheMetrics {
+  obs::Counter& hits;
+  obs::Counter& misses;
+  obs::Counter& insertions;
+  obs::Counter& evictions;
+  obs::Counter& oversize_rejects;
+  obs::Gauge& bytes;
+  obs::Gauge& entries;
+  static CacheMetrics& get() {
+    auto& r = obs::MetricsRegistry::global();
+    static CacheMetrics m{r.counter("store.cache.hits"),
+                          r.counter("store.cache.misses"),
+                          r.counter("store.cache.insertions"),
+                          r.counter("store.cache.evictions"),
+                          r.counter("store.cache.oversize_rejects"),
+                          r.gauge("store.cache.bytes"),
+                          r.gauge("store.cache.entries")};
+    return m;
+  }
+};
+
+}  // namespace
+
+ResultCache::ResultCache(const Options& opts)
+    : byte_budget_(std::max<std::size_t>(1, opts.byte_budget)) {
+  const unsigned n = std::max(1u, opts.shards);
+  shard_budget_ = std::max<std::size_t>(1, byte_budget_ / n);
+  shards_.reserve(n);
+  for (unsigned i = 0; i < n; ++i) shards_.push_back(std::make_unique<Shard>());
+}
+
+bool ResultCache::get(const common::Hash128& key, Bytes& out) {
+  Shard& s = shard_of(key);
+  {
+    std::lock_guard<std::mutex> lk(s.m);
+    auto it = s.index.find(key);
+    if (it != s.index.end()) {
+      s.lru.splice(s.lru.begin(), s.lru, it->second);  // touch: move to front
+      out = it->second->value;
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      CacheMetrics::get().hits.add(1);
+      return true;
+    }
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  CacheMetrics::get().misses.add(1);
+  return false;
+}
+
+void ResultCache::put(const common::Hash128& key, const Bytes& value) {
+  CacheMetrics& m = CacheMetrics::get();
+  if (value.size() > shard_budget_) {
+    oversize_.fetch_add(1, std::memory_order_relaxed);
+    m.oversize_rejects.add(1);
+    return;
+  }
+  Shard& s = shard_of(key);
+  u64 evicted = 0;
+  long long dbytes = 0, dentries = 0;
+  {
+    std::lock_guard<std::mutex> lk(s.m);
+    auto it = s.index.find(key);
+    if (it != s.index.end()) {
+      // Same content hash => same value; just refresh recency.
+      s.lru.splice(s.lru.begin(), s.lru, it->second);
+      return;
+    }
+    while (!s.lru.empty() && s.bytes + value.size() > shard_budget_) {
+      Entry& victim = s.lru.back();
+      s.bytes -= victim.value.size();
+      dbytes -= static_cast<long long>(victim.value.size());
+      s.index.erase(victim.key);
+      s.lru.pop_back();
+      --dentries;
+      ++evicted;
+    }
+    s.lru.push_front(Entry{key, value});
+    s.index.emplace(key, s.lru.begin());
+    s.bytes += value.size();
+    dbytes += static_cast<long long>(value.size());
+    ++dentries;
+  }
+  insertions_.fetch_add(1, std::memory_order_relaxed);
+  m.insertions.add(1);
+  if (evicted) {
+    evictions_.fetch_add(evicted, std::memory_order_relaxed);
+    m.evictions.add(evicted);
+  }
+  bytes_.fetch_add(static_cast<u64>(dbytes), std::memory_order_relaxed);
+  entries_.fetch_add(static_cast<u64>(dentries), std::memory_order_relaxed);
+  m.bytes.add(dbytes);
+  m.entries.add(dentries);
+}
+
+bool ResultCache::contains(const common::Hash128& key) const {
+  const Shard& s = shard_of(key);
+  std::lock_guard<std::mutex> lk(s.m);
+  return s.index.find(key) != s.index.end();
+}
+
+void ResultCache::clear() {
+  long long dbytes = 0, dentries = 0;
+  for (auto& sp : shards_) {
+    std::lock_guard<std::mutex> lk(sp->m);
+    dbytes -= static_cast<long long>(sp->bytes);
+    dentries -= static_cast<long long>(sp->lru.size());
+    sp->lru.clear();
+    sp->index.clear();
+    sp->bytes = 0;
+  }
+  bytes_.fetch_add(static_cast<u64>(dbytes), std::memory_order_relaxed);
+  entries_.fetch_add(static_cast<u64>(dentries), std::memory_order_relaxed);
+  CacheMetrics& m = CacheMetrics::get();
+  m.bytes.add(dbytes);
+  m.entries.add(dentries);
+}
+
+ResultCache::Stats ResultCache::stats() const {
+  Stats out;
+  out.hits = hits_.load(std::memory_order_relaxed);
+  out.misses = misses_.load(std::memory_order_relaxed);
+  out.insertions = insertions_.load(std::memory_order_relaxed);
+  out.evictions = evictions_.load(std::memory_order_relaxed);
+  out.oversize_rejects = oversize_.load(std::memory_order_relaxed);
+  out.bytes = bytes_.load(std::memory_order_relaxed);
+  out.entries = entries_.load(std::memory_order_relaxed);
+  return out;
+}
+
+}  // namespace repro::store

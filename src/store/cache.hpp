@@ -1,0 +1,96 @@
+// ResultCache — the in-memory tier of the PFPS chunk store.
+//
+// An N-way lock-striped LRU keyed by the 128-bit content hash
+// (common/hash.hpp). Each shard owns its own mutex, intrusive recency list,
+// and byte budget (total budget / shards), so concurrent service workers
+// contend only when they hash to the same stripe. Eviction is by bytes, not
+// entry count: inserting past the shard budget pops least-recently-used
+// entries until the new value fits. A value larger than a whole shard's
+// budget is rejected outright (caching it would evict everything for a
+// one-shot entry).
+//
+// Accounting is exact and always-on (plain atomics, the Server::Stats
+// pattern): hits/misses/insertions/evictions plus current bytes/entries.
+// The same events also feed the obs-gated `store.cache.*` metrics.
+#pragma once
+
+#include <atomic>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/hash.hpp"
+#include "common/types.hpp"
+
+namespace repro::store {
+
+class ResultCache {
+ public:
+  struct Options {
+    std::size_t byte_budget = 64u << 20;  ///< total across all shards
+    unsigned shards = 16;                 ///< lock stripes (clamped to >= 1)
+  };
+
+  /// Exact event/occupancy counters (snapshot).
+  struct Stats {
+    u64 hits = 0;
+    u64 misses = 0;
+    u64 insertions = 0;
+    u64 evictions = 0;
+    u64 oversize_rejects = 0;  ///< puts larger than a shard budget, not cached
+    u64 bytes = 0;             ///< current payload bytes resident
+    u64 entries = 0;           ///< current entry count
+  };
+
+  explicit ResultCache(const Options& opts);
+
+  /// Copy the value for `key` into `out` and mark it most-recently-used.
+  bool get(const common::Hash128& key, Bytes& out);
+
+  /// Insert (or refresh the recency of) `key`. Evicts LRU entries of the
+  /// same shard until the value fits its byte budget.
+  void put(const common::Hash128& key, const Bytes& value);
+
+  /// Presence check without touching recency (tests and diagnostics).
+  bool contains(const common::Hash128& key) const;
+
+  void clear();
+
+  Stats stats() const;
+  std::size_t byte_budget() const { return byte_budget_; }
+  unsigned shard_count() const { return static_cast<unsigned>(shards_.size()); }
+
+ private:
+  struct Entry {
+    common::Hash128 key;
+    Bytes value;
+  };
+  struct Shard {
+    mutable std::mutex m;
+    std::list<Entry> lru;  ///< front = most recently used
+    std::unordered_map<common::Hash128, std::list<Entry>::iterator,
+                       common::Hash128Hasher>
+        index;
+    std::size_t bytes = 0;
+  };
+
+  Shard& shard_of(const common::Hash128& key) {
+    return *shards_[common::Hash128Hasher{}(key) % shards_.size()];
+  }
+  const Shard& shard_of(const common::Hash128& key) const {
+    return *shards_[common::Hash128Hasher{}(key) % shards_.size()];
+  }
+
+  std::size_t byte_budget_;
+  std::size_t shard_budget_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  // Exact accounting, independent of obs::enabled().
+  mutable std::atomic<u64> hits_{0}, misses_{0}, insertions_{0}, evictions_{0},
+      oversize_{0};
+  std::atomic<u64> bytes_{0}, entries_{0};
+};
+
+}  // namespace repro::store

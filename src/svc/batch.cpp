@@ -10,6 +10,7 @@
 #include "obs/audit.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "store/store.hpp"
 #include "svc/thread_pool.hpp"
 
 namespace repro::svc {
@@ -49,7 +50,8 @@ BatchCompressor::BatchCompressor() : BatchCompressor(Options{}) {}
 BatchCompressor::BatchCompressor(const Options& opts)
     : pool_(std::make_unique<ThreadPool>(opts.threads, opts.queue_capacity)),
       max_inflight_bytes_(opts.max_inflight_bytes),
-      audit_(opts.audit) {}
+      audit_(opts.audit),
+      store_(opts.store) {}
 
 BatchCompressor::~BatchCompressor() = default;
 
@@ -76,12 +78,27 @@ std::vector<JobResult> BatchCompressor::run(const std::vector<Job>& jobs) {
     std::vector<std::future<u32>> futures;
   };
   std::vector<Plan> plans(jobs.size());
+  std::vector<common::Hash128> keys(jobs.size());
   for (std::size_t j = 0; j < jobs.size(); ++j) {
     results[j].name = jobs[j].name;
     results[j].raw_bytes = jobs[j].field.byte_size();
     stats_.bytes_in += results[j].raw_bytes;
     try {
       obs::ScopedSpan span(obs::enabled() ? "svc.plan:" + jobs[j].name : std::string());
+      if (store_) {
+        // Stored result? Skip planning and encoding — the compressor is
+        // deterministic, so the stored stream IS this job's output.
+        keys[j] = store::compress_key(jobs[j].field.data, jobs[j].field.byte_size(),
+                                      jobs[j].field.dtype, jobs[j].params.eb,
+                                      jobs[j].params.eps);
+        if (store_->get(keys[j], results[j].stream)) {
+          results[j].reused = true;
+          results[j].header = pfpl::peek_header(results[j].stream);
+          stats_.bytes_out += results[j].stream.size();
+          ++stats_.jobs_reused;
+          continue;
+        }
+      }
       plans[j].header = pfpl::plan_header(jobs[j].field, jobs[j].params);
       plans[j].payloads.resize(plans[j].header.chunk_count);
       plans[j].sizes.assign(plans[j].header.chunk_count, 0);
@@ -102,7 +119,7 @@ std::vector<JobResult> BatchCompressor::run(const std::vector<Job>& jobs) {
   Timer encode_t;
   ByteBudget budget(max_inflight_bytes_);
   for (std::size_t j = 0; j < jobs.size(); ++j) {
-    if (results[j].failed) continue;
+    if (results[j].failed || results[j].reused) continue;
     obs::ScopedSpan span(obs::enabled() ? "svc.submit:" + jobs[j].name : std::string());
     Plan& plan = plans[j];
     const Field& field = jobs[j].field;
@@ -128,7 +145,7 @@ std::vector<JobResult> BatchCompressor::run(const std::vector<Job>& jobs) {
   // Harvest chunk results in slot order (the futures also propagate any
   // encode-side exception to the owning job).
   for (std::size_t j = 0; j < jobs.size(); ++j) {
-    if (results[j].failed) continue;
+    if (results[j].failed || results[j].reused) continue;
     try {
       for (std::size_t c = 0; c < plans[j].futures.size(); ++c)
         plans[j].sizes[c] = plans[j].futures[c].get();
@@ -147,11 +164,15 @@ std::vector<JobResult> BatchCompressor::run(const std::vector<Job>& jobs) {
   // one-shot pfpl::compress by construction.
   Timer assemble_t;
   for (std::size_t j = 0; j < jobs.size(); ++j) {
-    if (results[j].failed) continue;
+    if (results[j].failed || results[j].reused) continue;
     obs::ScopedSpan span(obs::enabled() ? "svc.assemble:" + jobs[j].name : std::string());
     results[j].stream = pfpl::assemble_stream(plans[j].header, plans[j].sizes,
                                               plans[j].payloads, jobs[j].params.exec);
     stats_.bytes_out += results[j].stream.size();
+    if (store_)
+      store_->put(keys[j], results[j].stream,
+                  store::ChunkMeta{jobs[j].field.dtype, jobs[j].params.eb,
+                                   jobs[j].params.eps, results[j].raw_bytes});
   }
   stats_.assemble_ms = assemble_t.seconds() * 1e3;
 

@@ -24,6 +24,10 @@
 #include "core/pfpl.hpp"
 #include "svc/stats.hpp"
 
+namespace repro::store {
+class ChunkStore;
+}
+
 namespace repro::svc {
 
 class ThreadPool;
@@ -45,6 +49,7 @@ struct JobResult {
   std::string error;      ///< CompressionError text when failed
   bool audited = false;        ///< true when Options::audit re-verified this job
   u64 audit_violations = 0;    ///< bound violations the audit found (0 when clean)
+  bool reused = false;         ///< stream came from the chunk store, not computed
 };
 
 class BatchCompressor {
@@ -59,6 +64,11 @@ class BatchCompressor {
     /// per job; violations land in JobResult::audit_violations and
     /// SvcStats::audit_violations, never thrown.
     bool audit = false;
+    /// Optional PFPS chunk store (borrowed; must outlive the compressor).
+    /// Jobs whose content key is already stored reuse the stored stream and
+    /// skip planning/encoding entirely; newly computed streams are stored
+    /// back after assembly.
+    store::ChunkStore* store = nullptr;
   };
 
   BatchCompressor();  // default Options
@@ -81,6 +91,7 @@ class BatchCompressor {
   std::unique_ptr<ThreadPool> pool_;
   std::size_t max_inflight_bytes_;
   bool audit_ = false;
+  store::ChunkStore* store_ = nullptr;
   SvcStats stats_;
 };
 

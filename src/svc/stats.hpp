@@ -28,6 +28,7 @@ struct SvcStats {
   u64 peak_queue_depth = 0;
   u64 jobs_audited = 0;       ///< jobs re-verified by the error-bound auditor
   u64 audit_violations = 0;   ///< bound violations the audit hook caught
+  u64 jobs_reused = 0;        ///< jobs answered from the chunk store
   unsigned threads = 0;
   double plan_ms = 0;      ///< header planning (incl. NOA range reduction)
   double encode_ms = 0;    ///< submit-to-last-chunk wall time
@@ -56,6 +57,7 @@ struct SvcStats {
     if (jobs_audited)
       failed_part += " audited=" + std::to_string(jobs_audited) +
                      " audit_viol=" + std::to_string(audit_violations);
+    if (jobs_reused) failed_part += " reused=" + std::to_string(jobs_reused);
     char buf[320];
     std::snprintf(buf, sizeof(buf),
                   "svc: jobs=%llu%s chunks=%llu in=%.1fMB out=%.1fMB ratio=%.2f "
@@ -83,6 +85,7 @@ struct SvcStats {
     w.kv("peak_queue_depth", static_cast<unsigned long long>(peak_queue_depth));
     w.kv("jobs_audited", static_cast<unsigned long long>(jobs_audited));
     w.kv("audit_violations", static_cast<unsigned long long>(audit_violations));
+    w.kv("jobs_reused", static_cast<unsigned long long>(jobs_reused));
     w.kv("threads", threads);
     w.kv("plan_ms", plan_ms);
     w.kv("encode_ms", encode_ms);
@@ -105,6 +108,7 @@ struct SvcStats {
     r.counter("svc.bytes_out").add(bytes_out);
     r.counter("svc.jobs_audited").add(jobs_audited);
     r.counter("svc.audit_violations").add(audit_violations);
+    r.counter("svc.jobs_reused").add(jobs_reused);
     r.gauge("svc.peak_queue_depth").set(static_cast<long long>(peak_queue_depth));
     r.histogram("svc.plan_us").record(static_cast<u64>(plan_ms * 1e3));
     r.histogram("svc.encode_us").record(static_cast<u64>(encode_ms * 1e3));

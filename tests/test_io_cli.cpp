@@ -8,6 +8,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
+#include <limits>
 #include <string>
 
 #include "data/rng.hpp"
@@ -61,6 +62,65 @@ TEST(RawFile, MisalignedSizeThrows) {
   u8 bytes[5] = {1, 2, 3, 4, 5};
   io::write_file(path, bytes, 5);
   EXPECT_THROW(io::read_values<float>(path), CompressionError);
+  fs::remove(path);
+}
+
+TEST(RawFile, FileSize) {
+  std::string path = tmp_path("io_size.bin");
+  u8 bytes[7] = {0, 1, 2, 3, 4, 5, 6};
+  io::write_file(path, bytes, 7);
+  EXPECT_EQ(io::file_size(path), 7u);
+  io::write_file(path, nullptr, 0);
+  EXPECT_EQ(io::file_size(path), 0u);
+  fs::remove(path);
+  EXPECT_THROW(io::file_size(path), CompressionError);
+}
+
+// Exhaustive edge cases for the random-access range read: every failure mode
+// must surface as a typed CompressionError (the archive reader feeds it
+// untrusted index offsets), never a crash or a silently short buffer.
+TEST(RawFile, ReadRangeEdgeCases) {
+  std::string path = tmp_path("io_range.bin");
+  std::vector<u8> bytes(100);
+  for (std::size_t i = 0; i < bytes.size(); ++i) bytes[i] = static_cast<u8>(i);
+  io::write_file(path, bytes.data(), bytes.size());
+
+  // Interior range: exact bytes, exact length.
+  std::vector<u8> mid = io::read_file_range(path, 10, 5);
+  EXPECT_EQ(mid, std::vector<u8>(bytes.begin() + 10, bytes.begin() + 15));
+
+  // Whole file and final byte.
+  EXPECT_EQ(io::read_file_range(path, 0, 100), bytes);
+  EXPECT_EQ(io::read_file_range(path, 99, 1), std::vector<u8>{99});
+
+  // Zero-length ranges are valid anywhere inside the file, including at EOF.
+  EXPECT_TRUE(io::read_file_range(path, 0, 0).empty());
+  EXPECT_TRUE(io::read_file_range(path, 100, 0).empty());
+
+  // Range crossing EOF: starts inside, ends past the end.
+  EXPECT_THROW(io::read_file_range(path, 90, 11), CompressionError);
+  // Offset entirely past EOF (even a zero-length read there is rejected —
+  // the offset itself is out of the file).
+  EXPECT_THROW(io::read_file_range(path, 101, 0), CompressionError);
+  EXPECT_THROW(io::read_file_range(path, 101, 1), CompressionError);
+  // Huge size must not overflow offset + size arithmetic.
+  EXPECT_THROW(
+      io::read_file_range(path, 50, std::numeric_limits<std::size_t>::max()),
+      CompressionError);
+  fs::remove(path);
+
+  // Missing file: typed error from open, not from the range check.
+  EXPECT_THROW(io::read_file_range(path, 0, 0), CompressionError);
+  EXPECT_THROW(io::read_file_range("/nonexistent/dir/f.bin", 0, 1),
+               CompressionError);
+}
+
+TEST(RawFile, ReadRangeOnEmptyFile) {
+  std::string path = tmp_path("io_range_empty.bin");
+  io::write_file(path, nullptr, 0);
+  EXPECT_TRUE(io::read_file_range(path, 0, 0).empty());
+  EXPECT_THROW(io::read_file_range(path, 0, 1), CompressionError);
+  EXPECT_THROW(io::read_file_range(path, 1, 0), CompressionError);
   fs::remove(path);
 }
 

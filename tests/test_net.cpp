@@ -22,7 +22,7 @@
 #include "net/frame.hpp"
 #include "net/server.hpp"
 #include "net/socket.hpp"
-#include "svc/checksum.hpp"
+#include "store/store.hpp"
 #include "svc/thread_pool.hpp"
 
 using namespace repro;
@@ -101,7 +101,7 @@ TEST(NetChecksum, Crc32CheckValue) {
 
 TEST(NetChecksum, SvcAliasMatchesCommon) {
   const Bytes data = {0x00, 0xFF, 0x10, 0x20, 0x99};
-  EXPECT_EQ(svc::crc32(data.data(), data.size()),
+  EXPECT_EQ(common::crc32(data.data(), data.size()),
             common::crc32(data.data(), data.size()));
   // Seeded continuation matches one-shot.
   u32 part = common::crc32(data.data(), 2);
@@ -149,6 +149,22 @@ TEST(NetFrame, ErrorFrameCodec) {
   EXPECT_EQ(f.header.status, static_cast<u16>(net::Status::BadParams));
   EXPECT_EQ(f.header.request_id, 42u);
   EXPECT_EQ(std::string(f.payload.begin(), f.payload.end()), "nope");
+}
+
+// The status names are part of the user-facing contract: `pfpl remote`
+// reports server errors by CamelCase enumerator name, and unknown codes
+// (from a newer peer) degrade to "Status<N>", never a bare number or "?".
+TEST(NetFrame, StatusNamesAreTyped) {
+  EXPECT_STREQ(net::to_string(net::Status::Ok), "Ok");
+  EXPECT_STREQ(net::to_string(net::Status::BadFrame), "BadFrame");
+  EXPECT_STREQ(net::to_string(net::Status::CrcMismatch), "CrcMismatch");
+  EXPECT_STREQ(net::to_string(net::Status::BadParams), "BadParams");
+  EXPECT_STREQ(net::to_string(net::Status::CompressFailed), "CompressFailed");
+  EXPECT_STREQ(net::to_string(net::Status::TooLarge), "TooLarge");
+  EXPECT_STREQ(net::to_string(net::Status::Draining), "Draining");
+  EXPECT_EQ(net::status_name(2), "CrcMismatch");
+  EXPECT_EQ(net::status_name(6), "Draining");
+  EXPECT_EQ(net::status_name(999), "Status999");
 }
 
 TEST(NetFrame, ByteAtATimeFeed) {
@@ -347,6 +363,53 @@ TEST(NetLoopback, RoundTripAllDtypesAndBounds) {
       EXPECT_EQ(back, pfpl::decompress(local)) << to_string(dtype) << "/" << to_string(eb);
     }
   }
+}
+
+TEST(NetLoopback, RemoteErrorCarriesStatusName) {
+  TestServer ts;
+  net::Client client(ts.client_options());
+  const std::vector<float> data = make_f32(64);
+  try {
+    // eps < 0 passes frame validation but is rejected by the compressor,
+    // producing a CompressFailed error frame with the compressor's text.
+    client.compress(data.data(), data.size() * 4, DType::F32, EbType::ABS, -1.0);
+    FAIL() << "expected RemoteError";
+  } catch (const net::RemoteError& e) {
+    EXPECT_EQ(e.status(), static_cast<u16>(net::Status::CompressFailed));
+    EXPECT_NE(std::string(e.what()).find("CompressFailed"), std::string::npos)
+        << e.what();
+    // Never the bare numeric or the old SCREAMING_SNAKE spelling.
+    EXPECT_EQ(std::string(e.what()).find("COMPRESS_FAILED"), std::string::npos);
+  }
+}
+
+TEST(NetLoopback, ServerAnswersFromChunkStore) {
+  net::Server::Options opts;
+  opts.store = std::make_shared<store::ChunkStore>(store::ChunkStore::Options{});
+  TestServer ts(opts);
+  net::Client client(ts.client_options());
+  const std::vector<float> data = make_f32(4096);
+  pfpl::Params params;
+  params.eps = 1e-3;
+  const Bytes local = pfpl::compress(Field(data.data(), data.size()), params);
+
+  const Bytes first = client.compress(data.data(), data.size() * 4, DType::F32,
+                                      EbType::ABS, 1e-3);
+  const Bytes second = client.compress(data.data(), data.size() * 4, DType::F32,
+                                       EbType::ABS, 1e-3);
+  EXPECT_EQ(first, local);
+  EXPECT_EQ(second, local);  // the cached response is byte-identical
+
+  // And the decompress path caches independently (domain-separated keys).
+  const std::vector<u8> back1 = client.decompress(first);
+  const std::vector<u8> back2 = client.decompress(first);
+  EXPECT_EQ(back1, back2);
+  EXPECT_EQ(back1.size(), data.size() * 4);
+
+  ts.stop();
+  const net::Server::Stats st = ts.server.stats();
+  EXPECT_EQ(st.store_hits, 2u);    // second compress + second decompress
+  EXPECT_EQ(st.store_misses, 2u);  // first compress + first decompress
 }
 
 TEST(NetLoopback, EightConcurrentClientsZeroErrors) {

@@ -1,0 +1,443 @@
+// Tests for the PFPS tiered chunk store: the 128-bit content hash, the
+// sharded in-memory LRU, the persistent segment log (including crash
+// recovery and corruption detection), the two-tier facade, and the batch
+// service's stored-chunk reuse.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/hash.hpp"
+#include "core/pfpl.hpp"
+#include "store/cache.hpp"
+#include "store/segment_log.hpp"
+#include "store/store.hpp"
+#include "svc/batch.hpp"
+
+using namespace repro;
+namespace fs = std::filesystem;
+
+namespace {
+
+/// Fresh per-test store directory under the system temp dir.
+class StoreDir {
+ public:
+  explicit StoreDir(const std::string& tag)
+      : path_(fs::temp_directory_path() / ("pfpl_test_store_" + tag)) {
+    fs::remove_all(path_);
+  }
+  ~StoreDir() {
+    std::error_code ec;
+    fs::remove_all(path_, ec);
+  }
+  std::string str() const { return path_.string(); }
+  fs::path path() const { return path_; }
+
+ private:
+  fs::path path_;
+};
+
+common::Hash128 key_of(unsigned i) {
+  return common::hash128(&i, sizeof i);
+}
+
+Bytes bytes_of(std::size_t n, u8 fill) { return Bytes(n, fill); }
+
+std::vector<float> make_field_values(std::size_t n, unsigned seed) {
+  std::vector<float> v(n);
+  for (std::size_t i = 0; i < n; ++i)
+    v[i] = static_cast<float>((i % 97) * 0.25 + seed);
+  return v;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- Hash128
+
+TEST(Hash128, StableDigests) {
+  // On-disk keys must never change across refactors: these digests are part
+  // of the PFPS format (a silent hash change would orphan every stored
+  // chunk). Reference values computed once from the shipped implementation.
+  const char* s = "PFPS hash stability probe";
+  EXPECT_EQ(common::hash128(s, 25).hex(), "26f8eebab553a34003d15427f66709be");
+  EXPECT_EQ(common::hash128(s, 25, 42).hex(), "43273c9f5ca65d7978851ee8ac53d856");
+  EXPECT_TRUE(common::hash128("", 0).is_zero());
+}
+
+TEST(Hash128, HexParseRoundTrip) {
+  const common::Hash128 h = common::hash128("roundtrip", 9);
+  EXPECT_EQ(h.hex().size(), 32u);
+  common::Hash128 back;
+  ASSERT_TRUE(common::Hash128::parse(h.hex(), back));
+  EXPECT_EQ(back, h);
+  common::Hash128 junk;
+  EXPECT_FALSE(common::Hash128::parse("zz", junk));
+  EXPECT_FALSE(common::Hash128::parse(std::string(32, 'g'), junk));
+  EXPECT_TRUE(common::Hash128::parse(std::string(32, '0'), junk));
+  EXPECT_TRUE(junk.is_zero());
+}
+
+TEST(Hash128, SensitiveToEveryInput) {
+  Bytes a(64, 0x5a);
+  const common::Hash128 base = common::hash128(a.data(), a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    a[i] ^= 1;
+    EXPECT_NE(common::hash128(a.data(), a.size()), base) << "byte " << i;
+    a[i] ^= 1;
+  }
+  EXPECT_NE(common::hash128(a.data(), a.size() - 1), base);
+  EXPECT_NE(common::hash128(a.data(), a.size(), 1), base);
+}
+
+TEST(StoreKeys, DomainSeparation) {
+  Bytes raw(256, 0x11);
+  const auto c = store::compress_key(raw.data(), raw.size(), DType::F32,
+                                     EbType::ABS, 1e-3);
+  // Same bytes, different request parameters -> different keys.
+  EXPECT_NE(c, store::compress_key(raw.data(), raw.size(), DType::F64,
+                                   EbType::ABS, 1e-3));
+  EXPECT_NE(c, store::compress_key(raw.data(), raw.size(), DType::F32,
+                                   EbType::REL, 1e-3));
+  EXPECT_NE(c, store::compress_key(raw.data(), raw.size(), DType::F32,
+                                   EbType::ABS, 1e-4));
+  // Compress and decompress keys over the same bytes never alias.
+  EXPECT_NE(c, store::decompress_key(raw.data(), raw.size()));
+  // Deterministic.
+  EXPECT_EQ(c, store::compress_key(raw.data(), raw.size(), DType::F32,
+                                   EbType::ABS, 1e-3));
+}
+
+// ------------------------------------------------------------- ResultCache
+
+TEST(ResultCache, HitMissAndAccounting) {
+  store::ResultCache::Options o;
+  o.byte_budget = 1 << 20;
+  o.shards = 4;
+  store::ResultCache cache(o);
+  Bytes out;
+  EXPECT_FALSE(cache.get(key_of(1), out));
+  cache.put(key_of(1), bytes_of(100, 0xaa));
+  ASSERT_TRUE(cache.get(key_of(1), out));
+  EXPECT_EQ(out, bytes_of(100, 0xaa));
+  EXPECT_TRUE(cache.contains(key_of(1)));
+  EXPECT_FALSE(cache.contains(key_of(2)));
+
+  const store::ResultCache::Stats st = cache.stats();
+  EXPECT_EQ(st.hits, 1u);
+  EXPECT_EQ(st.misses, 1u);
+  EXPECT_EQ(st.insertions, 1u);
+  EXPECT_EQ(st.bytes, 100u);
+  EXPECT_EQ(st.entries, 1u);
+
+  cache.clear();
+  EXPECT_EQ(cache.stats().entries, 0u);
+  EXPECT_EQ(cache.stats().bytes, 0u);
+  EXPECT_FALSE(cache.get(key_of(1), out));
+}
+
+TEST(ResultCache, LruEvictionByBytes) {
+  // One shard so recency order is global and deterministic.
+  store::ResultCache::Options o;
+  o.byte_budget = 1000;
+  o.shards = 1;
+  store::ResultCache cache(o);
+  for (unsigned i = 0; i < 10; ++i) cache.put(key_of(i), bytes_of(100, u8(i)));
+  EXPECT_EQ(cache.stats().entries, 10u);
+
+  // Touch key 0 so it is MRU, then insert past the budget: key 1 (now LRU)
+  // must be the eviction victim, key 0 must survive.
+  Bytes out;
+  ASSERT_TRUE(cache.get(key_of(0), out));
+  cache.put(key_of(100), bytes_of(100, 0xff));
+  EXPECT_TRUE(cache.contains(key_of(0)));
+  EXPECT_TRUE(cache.contains(key_of(100)));
+  EXPECT_FALSE(cache.contains(key_of(1)));
+  EXPECT_GE(cache.stats().evictions, 1u);
+  EXPECT_LE(cache.stats().bytes, 1000u);
+}
+
+TEST(ResultCache, OversizeValueRejected) {
+  store::ResultCache::Options o;
+  o.byte_budget = 1000;
+  o.shards = 4;  // shard budget = 250
+  store::ResultCache cache(o);
+  cache.put(key_of(1), bytes_of(100, 1));
+  cache.put(key_of(2), bytes_of(500, 2));  // larger than any shard budget
+  EXPECT_TRUE(cache.contains(key_of(1)));
+  EXPECT_FALSE(cache.contains(key_of(2)));
+  EXPECT_EQ(cache.stats().oversize_rejects, 1u);
+}
+
+TEST(ResultCache, SameKeyPutRefreshesNotDuplicates) {
+  store::ResultCache::Options o;
+  o.byte_budget = 1 << 16;
+  o.shards = 1;
+  store::ResultCache cache(o);
+  cache.put(key_of(7), bytes_of(64, 1));
+  cache.put(key_of(7), bytes_of(64, 1));
+  EXPECT_EQ(cache.stats().entries, 1u);
+  EXPECT_EQ(cache.stats().bytes, 64u);
+}
+
+TEST(ResultCache, ConcurrentMixedTraffic) {
+  store::ResultCache::Options o;
+  o.byte_budget = 1 << 20;
+  o.shards = 8;
+  store::ResultCache cache(o);
+  std::vector<std::thread> threads;
+  for (unsigned t = 0; t < 8; ++t)
+    threads.emplace_back([&cache, t] {
+      Bytes out;
+      for (unsigned i = 0; i < 500; ++i) {
+        const unsigned k = (t * 131 + i) % 64;
+        if (cache.get(key_of(k), out)) {
+          ASSERT_EQ(out.size(), 32u + k);
+        } else {
+          cache.put(key_of(k), bytes_of(32 + k, u8(k)));
+        }
+      }
+    });
+  for (auto& th : threads) th.join();
+  const store::ResultCache::Stats st = cache.stats();
+  EXPECT_EQ(st.hits + st.misses, 8u * 500u);
+  EXPECT_LE(st.bytes, o.byte_budget);
+}
+
+// ------------------------------------------------------------ SegmentStore
+
+TEST(SegmentStore, PutGetRoundTripWithMeta) {
+  StoreDir dir("roundtrip");
+  store::SegmentStore::Options o;
+  o.dir = dir.str();
+  store::SegmentStore log(o);
+  const store::ChunkMeta meta{DType::F64, EbType::REL, 1e-4, 4096};
+  EXPECT_TRUE(log.put(key_of(1), bytes_of(333, 0x42), meta));
+  Bytes out;
+  store::ChunkMeta back;
+  ASSERT_TRUE(log.get(key_of(1), out, &back));
+  EXPECT_EQ(out, bytes_of(333, 0x42));
+  EXPECT_EQ(back.dtype, DType::F64);
+  EXPECT_EQ(back.eb, EbType::REL);
+  EXPECT_DOUBLE_EQ(back.eps, 1e-4);
+  EXPECT_EQ(back.raw_size, 4096u);
+  EXPECT_FALSE(log.get(key_of(2), out));
+}
+
+TEST(SegmentStore, DedupByContentKey) {
+  StoreDir dir("dedup");
+  store::SegmentStore::Options o;
+  o.dir = dir.str();
+  store::SegmentStore log(o);
+  EXPECT_TRUE(log.put(key_of(1), bytes_of(100, 1), {}));
+  const u64 live = log.live_bytes();
+  EXPECT_FALSE(log.put(key_of(1), bytes_of(100, 1), {}));  // no-op
+  EXPECT_EQ(log.live_bytes(), live);
+  EXPECT_EQ(log.entry_count(), 1u);
+}
+
+TEST(SegmentStore, PersistsAcrossReopen) {
+  StoreDir dir("reopen");
+  store::SegmentStore::Options o;
+  o.dir = dir.str();
+  {
+    store::SegmentStore log(o);
+    for (unsigned i = 0; i < 20; ++i)
+      log.put(key_of(i), bytes_of(50 + i, u8(i)), {DType::F32, EbType::ABS, 1e-3, 50});
+  }
+  store::SegmentStore log(o);
+  EXPECT_EQ(log.entry_count(), 20u);
+  EXPECT_EQ(log.open_report().torn_bytes, 0u);
+  EXPECT_FALSE(log.open_report().manifest_recovered);
+  for (unsigned i = 0; i < 20; ++i) {
+    Bytes out;
+    ASSERT_TRUE(log.get(key_of(i), out)) << i;
+    EXPECT_EQ(out, bytes_of(50 + i, u8(i)));
+  }
+  EXPECT_TRUE(log.verify().ok());
+}
+
+TEST(SegmentStore, TornTailTruncatedOnReopen) {
+  StoreDir dir("torn");
+  store::SegmentStore::Options o;
+  o.dir = dir.str();
+  fs::path active;
+  {
+    store::SegmentStore log(o);
+    log.put(key_of(1), bytes_of(200, 1), {});
+    log.sync();
+    active = dir.path() / "seg-00000001.pfps";
+    ASSERT_TRUE(fs::exists(active));
+  }
+  // Simulate a crash mid-append: garbage after the last valid frame.
+  {
+    std::FILE* f = std::fopen(active.string().c_str(), "ab");
+    ASSERT_NE(f, nullptr);
+    const Bytes garbage = bytes_of(37, 0xde);
+    std::fwrite(garbage.data(), 1, garbage.size(), f);
+    std::fclose(f);
+  }
+  store::SegmentStore log(o);
+  EXPECT_EQ(log.open_report().torn_bytes, 37u);
+  EXPECT_EQ(log.entry_count(), 1u);
+  Bytes out;
+  ASSERT_TRUE(log.get(key_of(1), out));
+  EXPECT_EQ(out, bytes_of(200, 1));
+  EXPECT_TRUE(log.verify().ok());
+  // The torn bytes are gone from disk, so appends resume cleanly.
+  EXPECT_TRUE(log.put(key_of(2), bytes_of(10, 2), {}));
+  EXPECT_TRUE(log.verify().ok());
+}
+
+TEST(SegmentStore, SealedSegmentCorruptionDetected) {
+  StoreDir dir("corrupt");
+  store::SegmentStore::Options o;
+  o.dir = dir.str();
+  o.max_segment_bytes = 512;  // force rotation -> sealed segments
+  {
+    store::SegmentStore log(o);
+    for (unsigned i = 0; i < 8; ++i) log.put(key_of(i), bytes_of(200, u8(i)), {});
+    ASSERT_GT(log.open_report().segments + 1, 1u);
+  }
+  // Flip a payload byte inside the first (sealed) segment.
+  const fs::path seg = dir.path() / "seg-00000001.pfps";
+  ASSERT_TRUE(fs::exists(seg));
+  {
+    std::FILE* f = std::fopen(seg.string().c_str(), "rb+");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, static_cast<long>(store::kSegmentHeaderSize +
+                                    store::kChunkFrameHeaderSize + 5),
+               SEEK_SET);
+    u8 b = 0;
+    ASSERT_EQ(std::fread(&b, 1, 1, f), 1u);
+    b ^= 0xff;
+    std::fseek(f, -1, SEEK_CUR);
+    std::fwrite(&b, 1, 1, f);
+    std::fclose(f);
+  }
+  store::SegmentStore log(o);
+  const store::SegmentStore::VerifyReport rep = log.verify();
+  EXPECT_FALSE(rep.ok());
+  EXPECT_GE(rep.corrupt_frames, 1u);
+}
+
+TEST(SegmentStore, ManifestRecoveredAfterDeletion) {
+  StoreDir dir("manifest");
+  store::SegmentStore::Options o;
+  o.dir = dir.str();
+  {
+    store::SegmentStore log(o);
+    log.put(key_of(1), bytes_of(64, 1), {});
+  }
+  fs::remove(dir.path() / "manifest.pfps");
+  store::SegmentStore log(o);
+  EXPECT_TRUE(log.open_report().manifest_recovered);
+  Bytes out;
+  EXPECT_TRUE(log.get(key_of(1), out));
+  // Reopen once more: the rebuilt manifest must now be clean.
+  log.sync();
+}
+
+TEST(SegmentStore, RotationAndCompact) {
+  StoreDir dir("compact");
+  store::SegmentStore::Options o;
+  o.dir = dir.str();
+  o.max_segment_bytes = 1024;
+  store::SegmentStore log(o);
+  // Interleave unique puts with duplicate puts (dedup leaves no dead bytes;
+  // dead bytes here come only from what compact() is told to drop).
+  for (unsigned i = 0; i < 16; ++i)
+    log.put(key_of(i), bytes_of(300, u8(i)), {});
+  const u64 gen_before = log.generation();
+  ASSERT_GT(log.open_report().segments + log.generation(), 0u);
+
+  const store::SegmentStore::CompactReport rep = log.compact();
+  EXPECT_EQ(rep.live_entries, 16u);
+  EXPECT_GT(log.generation(), gen_before);
+  EXPECT_EQ(log.dead_bytes(), 0u);
+  for (unsigned i = 0; i < 16; ++i) {
+    Bytes out;
+    ASSERT_TRUE(log.get(key_of(i), out)) << i;
+    EXPECT_EQ(out, bytes_of(300, u8(i)));
+  }
+  EXPECT_TRUE(log.verify().ok());
+  // And everything still reads back after a reopen of the compacted store.
+  log.sync();
+}
+
+// -------------------------------------------------------------- ChunkStore
+
+TEST(ChunkStore, MemoryOnlyTier) {
+  store::ChunkStore cs(store::ChunkStore::Options{});
+  EXPECT_FALSE(cs.persistent());
+  EXPECT_EQ(cs.log(), nullptr);
+  cs.put(key_of(1), bytes_of(128, 7), {});
+  Bytes out;
+  ASSERT_TRUE(cs.get(key_of(1), out));
+  EXPECT_EQ(out, bytes_of(128, 7));
+  cs.sync();  // no-op, must not throw
+}
+
+TEST(ChunkStore, LogHitPromotesIntoCache) {
+  StoreDir dir("promote");
+  store::ChunkStore::Options o;
+  o.dir = dir.str();
+  store::ChunkStore cs(o);
+  ASSERT_TRUE(cs.persistent());
+  cs.put(key_of(1), bytes_of(99, 3), {});
+  cs.cache().clear();
+  EXPECT_FALSE(cs.cache().contains(key_of(1)));
+  Bytes out;
+  ASSERT_TRUE(cs.get(key_of(1), out));  // served by the log...
+  EXPECT_EQ(out, bytes_of(99, 3));
+  EXPECT_TRUE(cs.cache().contains(key_of(1)));  // ...and promoted
+}
+
+TEST(ChunkStore, StatsJsonShape) {
+  store::ChunkStore cs(store::ChunkStore::Options{});
+  const std::string js = cs.stats_json();
+  EXPECT_NE(js.find("\"cache\""), std::string::npos);
+  EXPECT_NE(js.find("\"hits\""), std::string::npos);
+  EXPECT_NE(js.find("\"persistent\":false"), std::string::npos);
+}
+
+// ------------------------------------------------- BatchCompressor + store
+
+TEST(BatchStoreReuse, SecondRunServedFromStore) {
+  store::ChunkStore cs(store::ChunkStore::Options{});
+  svc::BatchCompressor::Options o;
+  o.threads = 2;
+  o.store = &cs;
+  svc::BatchCompressor batch(o);
+
+  const std::vector<float> values = make_field_values(20000, 1);
+  pfpl::Params params;
+  params.eps = 1e-3;
+  std::vector<svc::Job> jobs;
+  jobs.push_back({"a", Field(values.data(), values.size()), params});
+  jobs.push_back({"b", Field(values.data(), values.size()), params});
+
+  // First run: job "a" compresses; job "b" has identical content, so by the
+  // time phase 3 stores "a", "b" was already planned — both compress this
+  // run, but the second *run* must be answered entirely from the store.
+  const std::vector<svc::JobResult> first = batch.run(jobs);
+  ASSERT_EQ(first.size(), 2u);
+  ASSERT_FALSE(first[0].failed);
+  ASSERT_FALSE(first[1].failed);
+  EXPECT_EQ(first[0].stream, first[1].stream);
+
+  const std::vector<svc::JobResult> second = batch.run(jobs);
+  ASSERT_FALSE(second[0].failed);
+  ASSERT_FALSE(second[1].failed);
+  EXPECT_TRUE(second[0].reused);
+  EXPECT_TRUE(second[1].reused);
+  EXPECT_EQ(batch.stats().jobs_reused, 2u);
+  EXPECT_EQ(second[0].stream, first[0].stream);
+  EXPECT_EQ(second[1].stream, first[1].stream);
+
+  // Reused results decompress to the same values as fresh ones.
+  const std::vector<u8> raw = pfpl::decompress(second[0].stream);
+  EXPECT_EQ(raw.size(), values.size() * sizeof(float));
+}

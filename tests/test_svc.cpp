@@ -17,7 +17,7 @@
 #include "io/raw_file.hpp"
 #include "svc/archive.hpp"
 #include "svc/batch.hpp"
-#include "svc/checksum.hpp"
+#include "common/checksum.hpp"
 #include "svc/stats.hpp"
 #include "svc/thread_pool.hpp"
 
@@ -253,7 +253,7 @@ TEST_F(ArchiveTest, RandomAccessReadsOnlyTheEntryRange) {
   // The reader's contract is range-reads only; emulate it directly to prove
   // the entry is self-contained: bytes [offset, offset+size) alone decode.
   Bytes stream = io::read_file_range(path, e.offset, static_cast<std::size_t>(e.size));
-  EXPECT_EQ(svc::crc32(stream.data(), stream.size()), e.crc32);
+  EXPECT_EQ(common::crc32(stream.data(), stream.size()), e.crc32);
   auto back = pfpl::decompress_as<double>(stream);
   ASSERT_EQ(back.size(), f64.size());
   pfpl::Header h = pfpl::peek_header(stream);
@@ -292,7 +292,7 @@ TEST_F(ArchiveTest, HostileEntryNamesAreRejected) {
   for (const char* evil : {"../../ab", "/abs/pth", "dir\\file"}) {
     Bytes raw = orig;
     std::memcpy(raw.data() + index_offset + 2, evil, 8);
-    u32 crc = svc::crc32(raw.data() + index_offset, static_cast<std::size_t>(index_size));
+    u32 crc = common::crc32(raw.data() + index_offset, static_cast<std::size_t>(index_size));
     std::memcpy(raw.data() + raw.size() - svc::kArchiveFooterSize + 20, &crc, 4);
     io::write_file(path, raw.data(), raw.size());
     EXPECT_THROW(svc::ArchiveReader reader(path), CompressionError) << evil;
@@ -351,8 +351,8 @@ TEST(Archive, EmptyArchiveRoundTrips) {
 
 TEST(Checksum, Crc32KnownVector) {
   // CRC-32("123456789") = 0xCBF43926 (IEEE 802.3 check value).
-  EXPECT_EQ(svc::crc32("123456789", 9), 0xCBF43926u);
+  EXPECT_EQ(common::crc32("123456789", 9), 0xCBF43926u);
   // Incremental == one-shot.
-  u32 a = svc::crc32("12345", 5);
-  EXPECT_EQ(svc::crc32("6789", 4, a), 0xCBF43926u);
+  u32 a = common::crc32("12345", 5);
+  EXPECT_EQ(common::crc32("6789", 4, a), 0xCBF43926u);
 }
