@@ -1,0 +1,279 @@
+// bench_ingest — serial vs. pipelined ingest on a mixed dup-ratio workload.
+//
+// Generates --files raw f32 files on disk (a --dup-ratio fraction duplicate
+// file 0's bytes), then ingests the set twice into fresh PFPS stores:
+//
+//   serial     the synchronous reference loop — read, probe, encode, put,
+//              one file at a time (the pre-pipeline `pfpl pack --store` shape)
+//   pipelined  ingest::IngestPipeline — the four stages overlap
+//
+// Both passes run the SAME per-stage work plus the SAME injected per-stage
+// cost (--stage-cost-us, applied once per item per stage in both passes), so
+// the measured speedup isolates the pipeline's structural overlap — serial
+// throughput is the SUM of the stages, pipelined is the SLOWEST stage — and
+// does not depend on the host's core count. Streams from the two passes are
+// checked byte-identical and the pipelined store is CRC-verified, so the
+// bench doubles as the end-to-end ingest correctness test.
+//
+//   bench_ingest                            # 12 files x 16384 values
+//   bench_ingest --files 16 --values 65536 --threads 4 --min-speedup 1.5
+//   bench_ingest --update-baseline --baseline BENCH_baseline.json
+//
+// Exit codes: 0 ok, 1 byte mismatch / verify failure / speedup below
+// --min-speedup, 3 failed --gate.
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/pfpl.hpp"
+#include "harness.hpp"
+#include "ingest/pipeline.hpp"
+#include "io/buffered_reader.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+#include "store/store.hpp"
+
+#ifdef _WIN32
+#include <process.h>
+#define getpid _getpid
+#else
+#include <unistd.h>
+#endif
+
+using namespace repro;
+
+namespace {
+
+struct IngestCfg {
+  unsigned files = 12;
+  std::size_t values = 16384;   ///< f32 scalars per file
+  double dup_ratio = 0.25;      ///< fraction of files duplicating file 0
+  unsigned threads = 4;         ///< encode pool workers (pipelined pass)
+  u64 stage_cost_us = 1500;     ///< injected per-stage per-item cost (both passes)
+  double min_speedup = 1.5;     ///< required pipelined-vs-serial ratio
+};
+
+IngestCfg parse_ingest_flags(int argc, char** argv) {
+  IngestCfg cfg;
+  for (int i = 1; i < argc; ++i) {
+    std::string a = argv[i];
+    auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : "0"; };
+    if (a == "--files") cfg.files = static_cast<unsigned>(std::atoi(next()));
+    else if (a == "--values") cfg.values = std::strtoull(next(), nullptr, 10);
+    else if (a == "--dup-ratio") cfg.dup_ratio = std::atof(next());
+    else if (a == "--threads") cfg.threads = static_cast<unsigned>(std::atoi(next()));
+    else if (a == "--stage-cost-us") cfg.stage_cost_us = std::strtoull(next(), nullptr, 10);
+    else if (a == "--min-speedup") cfg.min_speedup = std::atof(next());
+  }
+  if (cfg.files == 0) cfg.files = 1;
+  if (cfg.values == 0) cfg.values = 1;
+  return cfg;
+}
+
+double now_s() {
+  using clock = std::chrono::steady_clock;
+  return std::chrono::duration<double>(clock::now().time_since_epoch()).count();
+}
+
+void stage_sleep(u64 us) {
+  if (us) std::this_thread::sleep_for(std::chrono::microseconds(us));
+}
+
+constexpr double kEps = 1e-3;
+
+bench::Row make_row(const char* name, double eb, double seconds, u64 raw_bytes,
+                    u64 comp_bytes) {
+  bench::Row row;
+  row.compressor = name;
+  row.eb = eb;
+  row.ratio = comp_bytes ? static_cast<double>(raw_bytes) / comp_bytes : 0.0;
+  row.comp_mbps = seconds > 0 ? raw_bytes / (1024.0 * 1024.0) / seconds : 0.0;
+  return row;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::SweepConfig sweep = bench::parse_args(argc, argv, bench::SweepConfig{});
+  (void)sweep;
+  const IngestCfg cfg = parse_ingest_flags(argc, argv);
+  obs::set_enabled(true);
+
+  namespace fs = std::filesystem;
+  const fs::path dir =
+      fs::temp_directory_path() /
+      ("pfpl_bench_ingest_" + std::to_string(static_cast<long long>(getpid())));
+  std::error_code ec;
+  fs::remove_all(dir, ec);
+  fs::create_directories(dir / "in");
+
+  // ---- workload: --files raw f32 files, some duplicating file 0 ----------
+  std::vector<std::string> paths;
+  u64 raw_bytes = 0;
+  for (unsigned f = 0; f < cfg.files; ++f) {
+    const bool is_dup =
+        f > 0 && static_cast<double>((f * 104729u) % 1000) < cfg.dup_ratio * 1000.0;
+    const unsigned seed = is_dup ? 0 : f;
+    std::vector<float> v(cfg.values);
+    for (std::size_t i = 0; i < cfg.values; ++i) {
+      double x = static_cast<double>(i) * 0.001 + seed * 0.37;
+      v[i] = static_cast<float>(std::sin(x) * 100.0 + std::cos(3.0 * x) + seed);
+    }
+    const fs::path p = dir / "in" / ("f" + std::to_string(f) + ".raw");
+    std::FILE* out = std::fopen(p.string().c_str(), "wb");
+    if (!out) { std::perror("fopen"); return 1; }
+    std::fwrite(v.data(), sizeof(float), v.size(), out);
+    std::fclose(out);
+    paths.push_back(p.string());
+    raw_bytes += cfg.values * sizeof(float);
+  }
+  std::fprintf(stderr,
+               "bench_ingest: %u files x %zu values (dup %.2f), stage cost %llu us, "
+               "%u threads\n",
+               cfg.files, cfg.values, cfg.dup_ratio,
+               static_cast<unsigned long long>(cfg.stage_cost_us), cfg.threads);
+
+  int mismatches = 0;
+  pfpl::Params params;
+  params.eps = kEps;
+
+  // ---- serial reference pass: read → probe → encode → put, one at a time.
+  // Every stage pays the same injected cost the pipelined pass pays, so the
+  // two passes differ ONLY in overlap.
+  std::vector<Bytes> serial_streams;
+  u64 comp_bytes = 0;
+  double serial_s = 0;
+  {
+    store::ChunkStore::Options so;
+    so.dir = (dir / "store_serial").string();
+    store::ChunkStore cs(so);
+    const double t0 = now_s();
+    for (const std::string& p : paths) {
+      Bytes raw;
+      io::DoubleBufferedReader rd(p);
+      for (std::span<const u8> sp = rd.next(); !sp.empty(); sp = rd.next())
+        raw.insert(raw.end(), sp.begin(), sp.end());
+      stage_sleep(cfg.stage_cost_us);
+      const common::Hash128 key =
+          store::compress_key(raw.data(), raw.size(), DType::F32, EbType::ABS, kEps);
+      Bytes stream;
+      const bool hit = cs.get(key, stream);
+      stage_sleep(cfg.stage_cost_us);
+      if (!hit)
+        stream = pfpl::compress(
+            Field(reinterpret_cast<const float*>(raw.data()), raw.size() / 4), params);
+      stage_sleep(cfg.stage_cost_us);
+      if (!hit)
+        cs.put(key, stream, store::ChunkMeta{DType::F32, EbType::ABS, kEps, raw.size()});
+      stage_sleep(cfg.stage_cost_us);
+      comp_bytes += stream.size();
+      serial_streams.push_back(std::move(stream));
+    }
+    cs.sync();
+    serial_s = now_s() - t0;
+  }
+
+  // ---- pipelined pass over a fresh store ---------------------------------
+  std::vector<ingest::Result> pipe_results;
+  ingest::IngestStats pipe_stats;
+  double pipe_s = 0;
+  {
+    store::ChunkStore::Options so;
+    so.dir = (dir / "store_pipe").string();
+    store::ChunkStore cs(so);
+    ingest::IngestPipeline::Options po;
+    po.dtype = DType::F32;
+    po.params = params;
+    po.threads = cfg.threads;
+    po.store = &cs;
+    po.stage_cost_us[0] = cfg.stage_cost_us;
+    po.stage_cost_us[1] = cfg.stage_cost_us;
+    po.stage_cost_us[2] = cfg.stage_cost_us;
+    po.stage_cost_us[3] = cfg.stage_cost_us;
+    std::vector<ingest::Item> items;
+    for (unsigned f = 0; f < cfg.files; ++f)
+      items.push_back(ingest::Item{"f" + std::to_string(f), paths[f], {}});
+    ingest::IngestPipeline pipe(po);
+    const double t0 = now_s();
+    pipe_results = pipe.run(std::move(items));
+    cs.sync();
+    pipe_s = now_s() - t0;
+    pipe_stats = pipe.stats();
+
+    const store::SegmentStore::VerifyReport rep = cs.log()->verify();
+    if (!rep.ok()) {
+      std::fprintf(stderr, "bench_ingest: store verify FAILED: %llu corrupt frame(s)\n",
+                   static_cast<unsigned long long>(rep.corrupt_frames));
+      ++mismatches;
+    }
+  }
+
+  // ---- byte-identity: pipelined streams == serial streams ----------------
+  for (unsigned f = 0; f < cfg.files; ++f) {
+    if (pipe_results[f].failed || pipe_results[f].cancelled) {
+      std::fprintf(stderr, "bench_ingest: file %u failed: %s\n", f,
+                   pipe_results[f].error.c_str());
+      ++mismatches;
+    } else if (pipe_results[f].stream != serial_streams[f]) {
+      std::fprintf(stderr, "bench_ingest: file %u: pipelined stream differs\n", f);
+      ++mismatches;
+    }
+  }
+
+  const double speedup = pipe_s > 0 && serial_s > 0 ? serial_s / pipe_s : 0.0;
+  const double wall_ms = pipe_stats.wall_ms > 0 ? pipe_stats.wall_ms : 1.0;
+  std::fprintf(stderr,
+               "bench_ingest: serial %.3fs (%.1f MB/s), pipelined %.3fs (%.1f MB/s) "
+               "-> %.2fx\n",
+               serial_s, raw_bytes / (1024.0 * 1024.0) / serial_s, pipe_s,
+               raw_bytes / (1024.0 * 1024.0) / pipe_s, speedup);
+  std::fprintf(stderr,
+               "bench_ingest: stage utilization read/hash/encode/append = "
+               "%.0f%%/%.0f%%/%.0f%%/%.0f%% of %.0fms wall, %llu append batch(es)\n",
+               100.0 * pipe_stats.read_ms / wall_ms, 100.0 * pipe_stats.hash_ms / wall_ms,
+               100.0 * pipe_stats.encode_ms / wall_ms,
+               100.0 * pipe_stats.append_ms / wall_ms, pipe_stats.wall_ms,
+               static_cast<unsigned long long>(pipe_stats.append_batches));
+  if (speedup < cfg.min_speedup) {
+    std::fprintf(stderr, "bench_ingest: speedup %.2fx below required %.2fx\n", speedup,
+                 cfg.min_speedup);
+    ++mismatches;
+  }
+
+  std::vector<bench::Row> rows;
+  rows.push_back(make_row("Ingest_serial", cfg.dup_ratio, serial_s, raw_bytes, comp_bytes));
+  rows.push_back(make_row("Ingest_pipelined", cfg.dup_ratio, pipe_s, raw_bytes, comp_bytes));
+  bench::print_rows("Ingest", rows);
+
+  obs::RunReport::global().add_section("ingest_bench", [&] {
+    obs::JsonWriter w;
+    w.begin_object();
+    w.kv("files", cfg.files);
+    w.kv("values", static_cast<unsigned long long>(cfg.values));
+    w.kv("dup_ratio", cfg.dup_ratio);
+    w.kv("stage_cost_us", static_cast<unsigned long long>(cfg.stage_cost_us));
+    w.kv("serial_s", serial_s);
+    w.kv("pipelined_s", pipe_s);
+    w.kv("speedup", speedup);
+    w.kv("probe_hits", static_cast<unsigned long long>(pipe_stats.probe_hits));
+    w.kv("append_batches", static_cast<unsigned long long>(pipe_stats.append_batches));
+    w.kv("peak_queue_bytes", static_cast<unsigned long long>(pipe_stats.peak_queue_bytes));
+    w.kv("mismatches", mismatches);
+    w.end_object();
+    return w.take();
+  }());
+
+  fs::remove_all(dir, ec);
+
+  const int gate_rc = bench::finish();
+  if (mismatches) return 1;
+  return gate_rc;
+}

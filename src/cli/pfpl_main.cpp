@@ -45,6 +45,7 @@
 #include <vector>
 
 #include "core/pfpl.hpp"
+#include "ingest/pipeline.hpp"
 #include "io/raw_file.hpp"
 #include "net/client.hpp"
 #include "net/server.hpp"
@@ -74,6 +75,8 @@ namespace {
                "       --eb abs|rel|noa --eps <e> [--threads N] [--exec serial|omp|gpusim]\n"
                "       [--audit]   # re-verify every packed entry, exit 3 on violation\n"
                "       [--store DIR]   # reuse/fill a PFPS chunk store\n"
+               "       [--progress]    # per-file progress + stage timing on stderr\n"
+               "       [--serial]      # synchronous batch path (no ingest pipeline)\n"
                "  pfpl unpack <in.pfpa> <outdir> [--entry NAME]\n"
                "  pfpl list <in.pfpa>\n"
                "  pfpl stats <in.pfpa|in.pfpl> [--json]\n"
@@ -160,6 +163,8 @@ struct Flags {
   std::string entry;
   bool json = false;   ///< `pfpl stats|audit --json`: machine-readable output
   bool audit = false;  ///< `pfpl pack --audit`: re-verify every packed job
+  bool progress = false;  ///< `pfpl pack --progress`: per-file lines on stderr
+  bool serial = false;    ///< `pfpl pack --serial`: bypass the ingest pipeline
   bool full = false;   ///< `pfpl audit --full`: paper-scale protocol
   std::string suite;   ///< `pfpl audit --suite NAME`: restrict to one suite
   // `pfpl audit` narrows its sweep only along axes the user actually set,
@@ -276,6 +281,10 @@ Flags parse_flags(int argc, char** argv, int first, std::vector<std::string>* po
       fl.json = true;
     } else if (a == "--audit") {
       fl.audit = true;
+    } else if (a == "--progress") {
+      fl.progress = true;
+    } else if (a == "--serial") {
+      fl.serial = true;
     } else if (a == "--full") {
       fl.full = true;
     } else if (!a.empty() && a[0] == '-') {
@@ -312,13 +321,6 @@ int cmd_pack(const std::vector<std::string>& positional, const Flags& fl) {
                                "'; basenames must be unique");
     names.push_back(std::move(name));
   }
-  std::vector<std::vector<u8>> raws;
-  std::vector<svc::Job> jobs;
-  raws.reserve(positional.size() - 1);
-  for (std::size_t i = 1; i < positional.size(); ++i) {
-    raws.push_back(io::read_file(positional[i]));
-    jobs.push_back({names[i - 1], make_field(raws.back(), fl.dtype), fl.params});
-  }
   std::unique_ptr<store::ChunkStore> chunk_store;
   if (!fl.store_dir.empty()) {
     store::ChunkStore::Options so;
@@ -326,20 +328,94 @@ int cmd_pack(const std::vector<std::string>& positional, const Flags& fl) {
     if (fl.cache_mb) so.cache.byte_budget = static_cast<std::size_t>(fl.cache_mb) << 20;
     chunk_store = std::make_unique<store::ChunkStore>(so);
   }
-  svc::BatchCompressor batch(
-      {.threads = fl.threads, .audit = fl.audit, .store = chunk_store.get()});
-  std::vector<svc::JobResult> results = batch.run(jobs);
-  if (chunk_store) chunk_store->sync();
-  if (obs::enabled()) {
-    obs::RunReport::global().add_section("svc", batch.stats().json());
-    if (chunk_store)
+
+  std::vector<ingest::Result> results;
+  std::string run_summary;
+  if (fl.serial) {
+    // Reference path: read every input up front, one synchronous
+    // BatchCompressor run. Byte-identical to the pipeline by construction —
+    // the CI ingest-smoke job cmp's the two archives.
+    std::vector<std::vector<u8>> raws;
+    std::vector<svc::Job> jobs;
+    raws.reserve(positional.size() - 1);
+    for (std::size_t i = 1; i < positional.size(); ++i) {
+      raws.push_back(io::read_file(positional[i]));
+      jobs.push_back({names[i - 1], make_field(raws.back(), fl.dtype), fl.params});
+    }
+    svc::BatchCompressor batch(
+        {.threads = fl.threads, .audit = fl.audit, .store = chunk_store.get()});
+    std::vector<svc::JobResult> jr = batch.run(jobs);
+    results.reserve(jr.size());
+    for (svc::JobResult& r : jr) {
+      ingest::Result out;
+      out.name = std::move(r.name);
+      out.stream = std::move(r.stream);
+      out.header = r.header;
+      out.raw_bytes = r.raw_bytes;
+      out.failed = r.failed;
+      out.error = std::move(r.error);
+      out.reused = r.reused;
+      out.audited = r.audited;
+      out.audit_violations = r.audit_violations;
+      results.push_back(std::move(out));
+    }
+    run_summary = batch.stats().summary();
+    if (obs::enabled())
+      obs::RunReport::global().add_section("svc", batch.stats().json());
+  } else {
+    // Default path: the staged ingest pipeline overlaps reading, dedup
+    // probing, encoding, and the batched segment appends.
+    ingest::IngestPipeline::Options po;
+    po.dtype = fl.dtype;
+    po.params = fl.params;
+    po.threads = fl.threads;
+    po.audit = fl.audit;
+    po.store = chunk_store.get();
+    if (fl.progress)
+      po.progress = [](const ingest::Result& r, std::size_t i, std::size_t n) {
+        if (r.failed || r.cancelled) {
+          std::fprintf(stderr, "pfpl: [%zu/%zu] %s: %s\n", i + 1, n, r.name.c_str(),
+                       r.error.c_str());
+        } else {
+          std::fprintf(stderr, "pfpl: [%zu/%zu] %s: %llu -> %zu bytes (ratio %.2f)%s\n",
+                       i + 1, n, r.name.c_str(),
+                       static_cast<unsigned long long>(r.raw_bytes), r.stream.size(),
+                       r.stream.empty() ? 0.0
+                                        : static_cast<double>(r.raw_bytes) /
+                                              static_cast<double>(r.stream.size()),
+                       r.reused ? " [reused]" : "");
+        }
+      };
+    std::vector<ingest::Item> items;
+    items.reserve(positional.size() - 1);
+    for (std::size_t i = 1; i < positional.size(); ++i)
+      items.push_back(ingest::Item{names[i - 1], positional[i], {}});
+    ingest::IngestPipeline pipe(po);
+    results = pipe.run(std::move(items));
+    run_summary = pipe.stats().summary();
+    if (fl.progress) {
+      const ingest::IngestStats& st = pipe.stats();
+      std::fprintf(stderr,
+                   "pfpl: stages read/hash/encode/append = %.1f/%.1f/%.1f/%.1f ms, "
+                   "wall %.1f ms, %llu append batch(es), peak queue %.1f MB\n",
+                   st.read_ms, st.hash_ms, st.encode_ms, st.append_ms, st.wall_ms,
+                   static_cast<unsigned long long>(st.append_batches),
+                   st.peak_queue_bytes / 1e6);
+    }
+    if (obs::enabled())
+      obs::RunReport::global().add_section("ingest", pipe.stats().json());
+  }
+  if (chunk_store) {
+    chunk_store->sync();
+    if (obs::enabled())
       obs::RunReport::global().add_section("store", chunk_store->stats_json());
   }
+
   int failed = 0;
   u64 audit_violations = 0;
   svc::ArchiveWriter writer(out_path);
-  for (const svc::JobResult& r : results) {
-    if (r.failed) {
+  for (const ingest::Result& r : results) {
+    if (r.failed || r.cancelled) {
       std::fprintf(stderr, "pfpl: %s: %s\n", r.name.c_str(), r.error.c_str());
       ++failed;
       continue;
@@ -353,7 +429,7 @@ int cmd_pack(const std::vector<std::string>& positional, const Flags& fl) {
   }
   writer.finish();
   std::printf("%s: %zu entries\n%s\n", out_path.c_str(), results.size() - failed,
-              batch.stats().summary().c_str());
+              run_summary.c_str());
   if (failed) return 1;
   return audit_violations ? 3 : 0;
 }

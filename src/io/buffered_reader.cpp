@@ -1,0 +1,106 @@
+#include "io/buffered_reader.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+namespace repro::io {
+
+DoubleBufferedReader::DoubleBufferedReader(const std::string& path,
+                                           std::size_t buffer_bytes)
+    : path_(path), buffer_bytes_(std::max<std::size_t>(1, buffer_bytes)) {
+  file_ = std::fopen(path_.c_str(), "rb");
+  if (!file_)
+    throw CompressionError(path_ + ": open: " + std::strerror(errno));
+  for (Slot& s : slots_) s.buf.resize(buffer_bytes_);
+  thread_ = std::thread([this] { prefetch_loop(); });
+}
+
+DoubleBufferedReader::~DoubleBufferedReader() {
+  {
+    std::lock_guard<std::mutex> lk(m_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  if (file_) std::fclose(file_);
+}
+
+void DoubleBufferedReader::prefetch_loop() {
+  for (;;) {
+    std::unique_lock<std::mutex> lk(m_);
+    cv_.wait(lk, [&] { return stop_ || !slots_[fill_idx_].filled; });
+    if (stop_ || eof_queued_) return;
+    Slot& s = slots_[fill_idx_];
+    lk.unlock();
+
+    // Fill outside the lock (the consumer owns the *other* slot). Loop over
+    // fread so a short read mid-file can never end a buffer early — only a
+    // true EOF makes the final buffer short.
+    std::size_t got = 0;
+    bool eof = false;
+    std::exception_ptr err;
+    while (got < s.buf.size()) {
+      const std::size_t n = std::fread(s.buf.data() + got, 1, s.buf.size() - got, file_);
+      got += n;
+      if (n == 0) {
+        if (std::ferror(file_)) {
+          err = std::make_exception_ptr(
+              CompressionError(path_ + ": read: " + std::strerror(errno)));
+        }
+        eof = true;
+        break;
+      }
+    }
+
+    lk.lock();
+    s.len = got;
+    s.last = eof;
+    s.filled = true;
+    if (err) {
+      error_ = err;
+      eof_queued_ = true;
+    } else if (eof) {
+      eof_queued_ = true;
+    } else {
+      fill_idx_ ^= 1u;
+    }
+    lk.unlock();
+    cv_.notify_all();
+    if (eof || err) return;
+  }
+}
+
+std::span<const u8> DoubleBufferedReader::next() {
+  std::unique_lock<std::mutex> lk(m_);
+  // The span handed out by the previous call expires now: release that slot
+  // for refill. Releasing is deferred to here — not done at hand-out time —
+  // so the producer can never scribble over a buffer the caller still reads.
+  if (handed_out_ >= 0) {
+    slots_[handed_out_].filled = false;
+    handed_out_ = -1;
+    cv_.notify_all();
+  }
+  Slot& s = slots_[consume_idx_];
+  cv_.wait(lk, [&] { return s.filled || eof_queued_; });
+  if (error_) {
+    std::exception_ptr e = error_;
+    error_ = nullptr;
+    std::rethrow_exception(e);
+  }
+  if (!s.filled) return {};  // producer ended without filling this slot: EOF
+  if (s.last && s.len == 0) {
+    // Zero-length file (or size an exact multiple of the buffer): the final
+    // fill found nothing — report EOF rather than an empty "chunk".
+    s.filled = false;
+    return {};
+  }
+  bytes_read_ += s.len;
+  handed_out_ = static_cast<int>(consume_idx_);
+  const std::span<const u8> out(s.buf.data(), s.len);
+  consume_idx_ ^= 1u;
+  return out;
+}
+
+}  // namespace repro::io

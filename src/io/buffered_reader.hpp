@@ -1,0 +1,82 @@
+// DoubleBufferedReader — sequential file reads that overlap disk I/O with
+// the caller's processing.
+//
+// Two fixed-size buffers and one background prefetch thread: while the
+// caller consumes buffer A, the thread fills buffer B, and next() swaps
+// them. This is the read stage of the ingest pipeline (DESIGN.md §ingest) —
+// the same double-buffering the paper's GPU codecs use to hide host<->device
+// copies, applied to the host's file reads.
+//
+// Contract:
+//   * next() returns a span over the freshly filled buffer; the span stays
+//     valid until the next next() call (the buffer is then handed back for
+//     refill). An EMPTY span means end of file.
+//   * a zero-length file yields an empty span on the first call.
+//   * the final buffer is short when the file size is not a multiple of the
+//     buffer size; short reads mid-file (signal interruption) are retried
+//     until the buffer is full or EOF, so a seam never splits early.
+//   * I/O errors in the prefetch thread are captured and rethrown from the
+//     next next() call as CompressionError.
+#pragma once
+
+#include <condition_variable>
+#include <exception>
+#include <mutex>
+#include <span>
+#include <string>
+#include <thread>
+
+#include "common/types.hpp"
+
+namespace repro::io {
+
+class DoubleBufferedReader {
+ public:
+  /// Opens `path` and starts the prefetch thread. Throws CompressionError
+  /// when the file cannot be opened. `buffer_bytes` is clamped to >= 1.
+  explicit DoubleBufferedReader(const std::string& path,
+                                std::size_t buffer_bytes = 4u << 20);
+  ~DoubleBufferedReader();
+
+  DoubleBufferedReader(const DoubleBufferedReader&) = delete;
+  DoubleBufferedReader& operator=(const DoubleBufferedReader&) = delete;
+
+  /// Next filled buffer (blocking until the prefetch thread delivers it).
+  /// Empty span = end of file. Rethrows any deferred read error.
+  std::span<const u8> next();
+
+  /// Total bytes handed out by next() so far.
+  u64 bytes_read() const { return bytes_read_; }
+
+  std::size_t buffer_bytes() const { return buffer_bytes_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  void prefetch_loop();
+
+  std::string path_;
+  std::size_t buffer_bytes_;
+  std::FILE* file_ = nullptr;
+
+  // Slot state machine: the prefetch thread fills slots in rotation; next()
+  // consumes them in the same rotation, so FIFO order is structural.
+  struct Slot {
+    Bytes buf;
+    std::size_t len = 0;
+    bool filled = false;  ///< ready for the consumer
+    bool last = false;    ///< EOF reached while filling this slot
+  };
+  Slot slots_[2];
+  std::mutex m_;
+  std::condition_variable cv_;
+  unsigned fill_idx_ = 0;     ///< slot the producer fills next
+  unsigned consume_idx_ = 0;  ///< slot the consumer takes next
+  int handed_out_ = -1;       ///< slot whose span the caller currently holds
+  bool eof_queued_ = false;   ///< producer finished (EOF or error)
+  bool stop_ = false;         ///< destructor: abandon prefetch
+  std::exception_ptr error_;
+  u64 bytes_read_ = 0;
+  std::thread thread_;
+};
+
+}  // namespace repro::io

@@ -17,6 +17,7 @@
 #include <thread>
 #include <vector>
 
+#include "ingest/pipeline.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -312,13 +313,19 @@ struct Server::Impl {
       try {
         test_slowdown();
         if (h.base_op() == static_cast<u8>(Op::Compress)) {
-          const common::Hash128 key =
-              cs ? store::compress_key(payload->data(), payload->size(),
-                                       static_cast<DType>(h.dtype),
-                                       static_cast<EbType>(h.eb_type), h.eps)
-                 : common::Hash128{};
+          // COMPRESS with --store goes through the ingest dedup probe: a
+          // duplicate payload answers straight from the store (byte-identical
+          // by key construction) and skips the compressor entirely.
           Bytes stream;
-          const bool hit = cs && cs->get(key, stream);
+          common::Hash128 key{};
+          bool hit = false;
+          if (cs) {
+            const ingest::ProbeResult pr = ingest::probe_compress(
+                *cs, payload->data(), payload->size(), static_cast<DType>(h.dtype),
+                static_cast<EbType>(h.eb_type), h.eps, stream);
+            key = pr.key;
+            hit = pr.hit;
+          }
           if (!hit) {
             Field field = h.dtype == static_cast<u8>(DType::F64)
                               ? Field(reinterpret_cast<const double*>(payload->data()),

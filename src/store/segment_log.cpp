@@ -155,6 +155,17 @@ u64 kill_at_append() {
   return v;
 }
 
+/// Batch-index variant: the Nth frame *written* through append_batch() in
+/// this process tears and SIGKILLs — cumulative across calls, because a
+/// caller's batching policy (e.g. the ingest pipeline's greedy batcher) may
+/// split one logical batch into several small commits. Read fresh on every
+/// call (no cached static) so a fork()ed test child can setenv() after the
+/// parent process started.
+u64 kill_at_batch_item() {
+  const char* e = std::getenv("PFPL_STORE_TEST_KILL_AT_BATCH_ITEM");
+  return e ? std::strtoull(e, nullptr, 10) : 0ull;
+}
+
 }  // namespace
 
 SegmentStore::SegmentStore(const Options& opts) : opts_(opts) {
@@ -423,7 +434,8 @@ bool SegmentStore::get(const common::Hash128& key, Bytes& out, ChunkMeta* meta) 
 }
 
 void SegmentStore::append_frame_locked(const common::Hash128& key, const Bytes& payload,
-                                       const ChunkMeta& meta) {
+                                       const ChunkMeta& meta, bool flush,
+                                       bool torn_kill) {
   Bytes frame(kChunkFrameHeaderSize + payload.size());
   encode_frame_header(frame.data(), key, meta,
                       common::crc32(payload.data(), payload.size()), payload.size());
@@ -432,7 +444,7 @@ void SegmentStore::append_frame_locked(const common::Hash128& key, const Bytes& 
   ++appends_this_process_;
   const u64 kill_at = kill_at_append();
   const std::size_t write_n =
-      (kill_at && appends_this_process_ == kill_at)
+      (torn_kill || (kill_at && appends_this_process_ == kill_at))
           ? kChunkFrameHeaderSize + payload.size() / 2  // torn: half the payload
           : frame.size();
 
@@ -441,12 +453,16 @@ void SegmentStore::append_frame_locked(const common::Hash128& key, const Bytes& 
   if (std::fwrite(frame.data(), 1, write_n, active_) != write_n)
     throw_errno(path + ": append frame");
   if (write_n != frame.size()) {
+    // Crash simulation: make the torn frame (and every frame written before
+    // it) visible on disk, then die without updating any bookkeeping.
     std::fflush(active_);
     ::fsync(::fileno(active_));
     std::raise(SIGKILL);
   }
-  if (std::fflush(active_) != 0) throw_errno(path + ": flush");
-  if (opts_.fsync_each_append) fsync_fd_or_throw(::fileno(active_), path);
+  if (flush) {
+    if (std::fflush(active_) != 0) throw_errno(path + ": flush");
+    if (opts_.fsync_each_append) fsync_fd_or_throw(::fileno(active_), path);
+  }
 
   index_.emplace(key, IndexEntry{seg.id, seg.valid_bytes, payload.size(), meta});
   seg.valid_bytes += frame.size();
@@ -478,12 +494,49 @@ bool SegmentStore::put(const common::Hash128& key, const Bytes& payload,
           opts_.max_segment_bytes &&
       segments_.rbegin()->second.valid_bytes > kSegmentHeaderSize)
     rotate_locked();
-  append_frame_locked(key, payload, meta);
+  append_frame_locked(key, payload, meta, /*flush=*/true);
   m.appends.add(1);
   m.live_bytes.set(static_cast<long long>(live_bytes_));
   m.entries.set(static_cast<long long>(index_.size()));
   m.segments.set(static_cast<long long>(segments_.size()));
   return true;
+}
+
+std::size_t SegmentStore::append_batch(const std::vector<BatchEntry>& entries) {
+  LogMetrics& m = LogMetrics::get();
+  std::lock_guard<std::mutex> lk(m_);
+  const u64 kill_item = kill_at_batch_item();
+  std::size_t stored = 0;
+  for (const BatchEntry& e : entries) {
+    if (!e.payload) continue;
+    if (index_.find(e.key) != index_.end()) {
+      m.dedup_hits.add(1);
+      continue;
+    }
+    if (segments_.rbegin()->second.valid_bytes + kChunkFrameHeaderSize +
+                e.payload->size() >
+            opts_.max_segment_bytes &&
+        segments_.rbegin()->second.valid_bytes > kSegmentHeaderSize)
+      rotate_locked();  // flushes + fsyncs the sealed segment
+    ++batch_frames_this_process_;
+    append_frame_locked(e.key, *e.payload, e.meta, /*flush=*/false,
+                        /*torn_kill=*/kill_item &&
+                            batch_frames_this_process_ == kill_item);
+    ++stored;
+    m.appends.add(1);
+  }
+  // Group commit: one flush (and at most one fsync) covers the whole batch.
+  // Frames were written in entry order, so durability is prefix-closed — a
+  // crash before this point can only lose a suffix of the batch.
+  if (stored) {
+    const std::string path = segment_path(segments_.rbegin()->first);
+    if (std::fflush(active_) != 0) throw_errno(path + ": flush");
+    if (opts_.fsync_each_append) fsync_fd_or_throw(::fileno(active_), path);
+    m.live_bytes.set(static_cast<long long>(live_bytes_));
+    m.entries.set(static_cast<long long>(index_.size()));
+    m.segments.set(static_cast<long long>(segments_.size()));
+  }
+  return stored;
 }
 
 std::vector<StoredChunk> SegmentStore::entries() const {

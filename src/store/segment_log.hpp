@@ -128,6 +128,24 @@ class SegmentStore {
   /// already present (dedup hit — nothing is written).
   bool put(const common::Hash128& key, const Bytes& payload, const ChunkMeta& meta);
 
+  /// One entry of append_batch(). The payload is borrowed; it must stay
+  /// alive until the call returns.
+  struct BatchEntry {
+    common::Hash128 key;
+    const Bytes* payload = nullptr;
+    ChunkMeta meta;
+  };
+
+  /// Append a group of chunks under ONE lock acquisition, ONE stdio flush,
+  /// and (when Options::fsync_each_append is set) ONE fsync for the whole
+  /// batch — the group-commit the ingest pipeline's append stage batches
+  /// into. Duplicate keys (against the index or earlier entries of the same
+  /// batch) are skipped exactly like put(). Frames are written in entry
+  /// order, so a crash mid-batch can only lose a suffix: the reopen scan
+  /// truncates the torn frame and everything after it, never surfacing entry
+  /// i+1 without entry i. Returns the number of entries newly stored.
+  std::size_t append_batch(const std::vector<BatchEntry>& entries);
+
   std::vector<StoredChunk> entries() const;
   std::size_t entry_count() const;
   u64 live_bytes() const;
@@ -167,8 +185,12 @@ class SegmentStore {
   void open_active_locked(u64 id, bool create);
   void rotate_locked();
   void scan_segment_locked(Segment& seg, bool active);
+  /// Write one frame at the active segment's tail. `flush` controls the
+  /// per-frame fflush/fsync (put() flushes each frame; append_batch() defers
+  /// to one group flush). `torn_kill` is the batch kill hook: write half the
+  /// payload, fsync, SIGKILL.
   void append_frame_locked(const common::Hash128& key, const Bytes& payload,
-                           const ChunkMeta& meta);
+                           const ChunkMeta& meta, bool flush, bool torn_kill = false);
 
   Options opts_;
   mutable std::mutex m_;
@@ -180,6 +202,7 @@ class SegmentStore {
   u64 dead_bytes_ = 0;
   OpenReport open_report_;
   u64 appends_this_process_ = 0;  ///< drives the PFPL_STORE_TEST_KILL_AT_APPEND hook
+  u64 batch_frames_this_process_ = 0;  ///< PFPL_STORE_TEST_KILL_AT_BATCH_ITEM hook
 };
 
 }  // namespace repro::store

@@ -86,6 +86,16 @@ void ChunkStore::put(const common::Hash128& key, const Bytes& payload,
   StoreMetrics::get().put_us.record(now_us() - t0);
 }
 
+std::size_t ChunkStore::put_batch(const std::vector<SegmentStore::BatchEntry>& entries) {
+  const u64 t0 = now_us();
+  for (const SegmentStore::BatchEntry& e : entries)
+    if (e.payload) cache_.put(e.key, *e.payload);
+  std::size_t stored = 0;
+  if (log_) stored = log_->append_batch(entries);
+  StoreMetrics::get().put_us.record(now_us() - t0);
+  return stored;
+}
+
 bool ChunkStore::contains(const common::Hash128& key) const {
   return cache_.contains(key) || (log_ && log_->contains(key));
 }

@@ -1,9 +1,7 @@
 #include "svc/batch.hpp"
 
 #include <algorithm>
-#include <condition_variable>
 #include <future>
-#include <mutex>
 
 #include "common/timer.hpp"
 #include "core/chunked.hpp"
@@ -11,39 +9,10 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "store/store.hpp"
+#include "svc/byte_budget.hpp"
 #include "svc/thread_pool.hpp"
 
 namespace repro::svc {
-namespace {
-
-/// Counting byte-budget semaphore: acquire blocks while the budget is
-/// exhausted. A single acquisition larger than the whole budget is admitted
-/// alone (otherwise one oversized chunk would deadlock the batch).
-class ByteBudget {
- public:
-  explicit ByteBudget(std::size_t limit) : limit_(std::max<std::size_t>(1, limit)) {}
-
-  void acquire(std::size_t bytes) {
-    std::unique_lock<std::mutex> lk(m_);
-    cv_.wait(lk, [&] { return used_ == 0 || used_ + bytes <= limit_; });
-    used_ += bytes;
-  }
-  void release(std::size_t bytes) {
-    {
-      std::lock_guard<std::mutex> lk(m_);
-      used_ -= std::min(bytes, used_);
-    }
-    cv_.notify_all();
-  }
-
- private:
-  std::mutex m_;
-  std::condition_variable cv_;
-  std::size_t limit_;
-  std::size_t used_ = 0;
-};
-
-}  // namespace
 
 BatchCompressor::BatchCompressor() : BatchCompressor(Options{}) {}
 

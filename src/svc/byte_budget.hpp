@@ -1,0 +1,41 @@
+// Counting byte-budget semaphore shared by the batch compressor and the
+// ingest pipeline: acquire() blocks while the budget is exhausted, so a
+// producer can never materialize more than roughly `limit` bytes of
+// in-flight work. A single acquisition larger than the whole budget is
+// admitted alone (otherwise one oversized chunk would deadlock the batch).
+#pragma once
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+
+namespace repro::svc {
+
+class ByteBudget {
+ public:
+  explicit ByteBudget(std::size_t limit) : limit_(std::max<std::size_t>(1, limit)) {}
+
+  void acquire(std::size_t bytes) {
+    std::unique_lock<std::mutex> lk(m_);
+    cv_.wait(lk, [&] { return used_ == 0 || used_ + bytes <= limit_; });
+    used_ += bytes;
+  }
+  void release(std::size_t bytes) {
+    {
+      std::lock_guard<std::mutex> lk(m_);
+      used_ -= std::min(bytes, used_);
+    }
+    cv_.notify_all();
+  }
+
+  std::size_t limit() const { return limit_; }
+
+ private:
+  std::mutex m_;
+  std::condition_variable cv_;
+  std::size_t limit_;
+  std::size_t used_ = 0;
+};
+
+}  // namespace repro::svc

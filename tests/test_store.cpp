@@ -4,11 +4,18 @@
 // service's stored-chunk reuse.
 #include <gtest/gtest.h>
 
+#include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <string>
 #include <thread>
 #include <vector>
+
+#ifndef _WIN32
+#include <sys/wait.h>
+#include <unistd.h>
+#endif
 
 #include "common/hash.hpp"
 #include "core/pfpl.hpp"
@@ -440,4 +447,139 @@ TEST(BatchStoreReuse, SecondRunServedFromStore) {
   // Reused results decompress to the same values as fresh ones.
   const std::vector<u8> raw = pfpl::decompress(second[0].stream);
   EXPECT_EQ(raw.size(), values.size() * sizeof(float));
+}
+
+// ------------------------------------------------------------ append_batch
+
+TEST(SegmentStore, AppendBatchGroupCommit) {
+  StoreDir dir("batch");
+  store::SegmentStore::Options o;
+  o.dir = dir.str();
+  store::SegmentStore log(o);
+
+  // A key that is already stored must be skipped by the batch's dedup.
+  ASSERT_TRUE(log.put(key_of(0), bytes_of(64, 0xAA), {}));
+
+  const Bytes p1 = bytes_of(100, 1), p2 = bytes_of(200, 2), p3 = bytes_of(300, 3);
+  const Bytes p_old = bytes_of(64, 0xAA);
+  std::vector<store::SegmentStore::BatchEntry> entries;
+  entries.push_back({key_of(1), &p1, {DType::F32, EbType::ABS, 1e-3, 400}});
+  entries.push_back({key_of(2), &p2, {}});
+  entries.push_back({key_of(0), &p_old, {}});  // duplicate of the earlier put
+  entries.push_back({key_of(2), &p2, {}});     // duplicate within the batch
+  entries.push_back({key_of(3), &p3, {}});
+
+  EXPECT_EQ(log.append_batch(entries), 3u);  // only the three new keys
+  EXPECT_EQ(log.entry_count(), 4u);
+
+  Bytes out;
+  store::ChunkMeta meta;
+  ASSERT_TRUE(log.get(key_of(1), out, &meta));
+  EXPECT_EQ(out, p1);
+  EXPECT_EQ(meta.raw_size, 400u);
+  ASSERT_TRUE(log.get(key_of(2), out));
+  EXPECT_EQ(out, p2);
+  ASSERT_TRUE(log.get(key_of(3), out));
+  EXPECT_EQ(out, p3);
+  EXPECT_TRUE(log.verify().ok());
+}
+
+TEST(SegmentStore, AppendBatchPersistsAcrossReopenAndRotation) {
+  StoreDir dir("batch_reopen");
+  store::SegmentStore::Options o;
+  o.dir = dir.str();
+  o.max_segment_bytes = 2048;  // force rotation mid-batch
+  {
+    store::SegmentStore log(o);
+    std::vector<Bytes> payloads;
+    for (unsigned i = 0; i < 12; ++i) payloads.push_back(bytes_of(400 + i, u8(i)));
+    std::vector<store::SegmentStore::BatchEntry> entries;
+    for (unsigned i = 0; i < 12; ++i)
+      entries.push_back({key_of(i), &payloads[i], {DType::F32, EbType::ABS, 1e-3, 400}});
+    EXPECT_EQ(log.append_batch(entries), 12u);
+    EXPECT_GT(log.verify().segments, 1u);  // the batch crossed a rotation
+  }
+  store::SegmentStore log(o);
+  EXPECT_EQ(log.entry_count(), 12u);
+  EXPECT_EQ(log.open_report().torn_bytes, 0u);
+  for (unsigned i = 0; i < 12; ++i) {
+    Bytes out;
+    ASSERT_TRUE(log.get(key_of(i), out)) << i;
+    EXPECT_EQ(out, bytes_of(400 + i, u8(i)));
+  }
+  EXPECT_TRUE(log.verify().ok());
+}
+
+#ifndef _WIN32
+TEST(SegmentStore, BatchKillSurfacesOnlyCommittedPrefix) {
+  // Durability ordering under a crash mid-batch: SIGKILL while the 3rd frame
+  // of a 4-entry batch is being written must leave exactly the first two
+  // entries recoverable — never a chunk the recovery scan doesn't cover —
+  // and the torn 3rd frame must be truncated on reopen.
+  StoreDir dir("batch_kill");
+  const pid_t pid = fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    // Child: the env hook tears the 3rd written frame and raises SIGKILL.
+    ::setenv("PFPL_STORE_TEST_KILL_AT_BATCH_ITEM", "3", 1);
+    store::SegmentStore::Options o;
+    o.dir = dir.str();
+    store::SegmentStore log(o);
+    std::vector<Bytes> payloads;
+    for (unsigned i = 0; i < 4; ++i) payloads.push_back(bytes_of(512 + i, u8(i + 1)));
+    std::vector<store::SegmentStore::BatchEntry> entries;
+    for (unsigned i = 0; i < 4; ++i)
+      entries.push_back({key_of(i), &payloads[i], {DType::F32, EbType::ABS, 1e-3, 512}});
+    log.append_batch(entries);  // never returns
+    _exit(0);                   // hook failed: parent sees a clean exit and fails
+  }
+  int status = 0;
+  ASSERT_EQ(waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFSIGNALED(status)) << "child exited instead of being killed";
+  ASSERT_EQ(WTERMSIG(status), SIGKILL);
+
+  store::SegmentStore::Options o;
+  o.dir = dir.str();
+  store::SegmentStore log(o);
+  EXPECT_GT(log.open_report().torn_bytes, 0u);  // the half-written 3rd frame
+  EXPECT_EQ(log.entry_count(), 2u);
+  Bytes out;
+  ASSERT_TRUE(log.get(key_of(0), out));
+  EXPECT_EQ(out, bytes_of(512, 1));
+  ASSERT_TRUE(log.get(key_of(1), out));
+  EXPECT_EQ(out, bytes_of(513, 2));
+  EXPECT_FALSE(log.get(key_of(2), out));  // torn mid-write
+  EXPECT_FALSE(log.get(key_of(3), out));  // never reached
+  EXPECT_TRUE(log.verify().ok());
+}
+#endif
+
+TEST(ChunkStore, PutBatchFillsBothTiers) {
+  StoreDir dir("put_batch");
+  store::ChunkStore::Options o;
+  o.dir = dir.str();
+  std::vector<Bytes> payloads;
+  for (unsigned i = 0; i < 6; ++i) payloads.push_back(bytes_of(128 + i, u8(i)));
+  {
+    store::ChunkStore cs(o);
+    std::vector<store::SegmentStore::BatchEntry> entries;
+    for (unsigned i = 0; i < 6; ++i)
+      entries.push_back({key_of(i), &payloads[i], {DType::F32, EbType::ABS, 1e-3, 128}});
+    EXPECT_EQ(cs.put_batch(entries), 6u);
+    // Cache tier: every get answers without touching the log.
+    for (unsigned i = 0; i < 6; ++i) {
+      Bytes out;
+      ASSERT_TRUE(cs.get(key_of(i), out)) << i;
+      EXPECT_EQ(out, payloads[i]);
+    }
+    EXPECT_GE(cs.cache().stats().hits, 6u);
+    cs.sync();
+  }
+  // Persistent tier: a fresh ChunkStore (cold cache) still serves every key.
+  store::ChunkStore cs(o);
+  for (unsigned i = 0; i < 6; ++i) {
+    Bytes out;
+    ASSERT_TRUE(cs.get(key_of(i), out)) << i;
+    EXPECT_EQ(out, payloads[i]);
+  }
 }

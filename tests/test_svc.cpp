@@ -209,7 +209,11 @@ TEST(Chunked, ManualChunkLoopMatchesOneShot) {
 class ArchiveTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    path = tmp_path("archive.pfpa");
+    // Per-test file name: ctest runs discovered tests as parallel processes,
+    // and a shared path would let one test corrupt another's archive.
+    const std::string tag =
+        ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    path = tmp_path(tag + "_archive.pfpa");
     f32 = wave_f32(20000, 11);
     f64 = wave_f64(9000, 12);
     jobs = {
