@@ -15,7 +15,10 @@
 // Harness flags (--json/--baseline/--update-baseline/--gate) apply; the
 // baseline rows carry throughput, and the "_us" histogram quantiles
 // (net.client.request_us, net.request_us, ...) ride along as advisory
-// metrics via the harness's automatic histogram capture.
+// metrics via the harness's automatic histogram capture. Exact (unbucketed)
+// client-observed p50/p95/p99 over every round trip are printed to stderr
+// and recorded under adv/net_loadgen/client_p* — advisory too, so they warn
+// on regression but never fail the gate.
 //
 // Exit codes: 0 ok, 1 protocol error or byte mismatch, 3 failed --gate.
 #include <algorithm>
@@ -88,6 +91,9 @@ struct WorkerResult {
   double compress_s = 0;
   double decompress_s = 0;
   u64 reconnects = 0;
+  /// Client-observed per-request round-trip latencies (µs, both ops) — merged
+  /// across workers for the exact p50/p95/p99 summary and the advisory gate.
+  std::vector<double> latencies_us;
 };
 
 /// One client's workload: rotate through dtype x eb combinations, compress
@@ -134,7 +140,9 @@ WorkerResult run_client(const LoadCfg& cfg, const std::string& host, u16 port,
 
       auto t0 = clock::now();
       const Bytes remote = client.compress(raw, raw_n, dtype, eb, eps);
-      r.compress_s += std::chrono::duration<double>(clock::now() - t0).count();
+      const double comp_s = std::chrono::duration<double>(clock::now() - t0).count();
+      r.compress_s += comp_s;
+      r.latencies_us.push_back(comp_s * 1e6);
       ++r.requests;
       r.raw_bytes += raw_n;
       r.comp_bytes += remote.size();
@@ -149,7 +157,9 @@ WorkerResult run_client(const LoadCfg& cfg, const std::string& host, u16 port,
 
       t0 = clock::now();
       const std::vector<u8> back = client.decompress(remote);
-      r.decompress_s += std::chrono::duration<double>(clock::now() - t0).count();
+      const double decomp_s = std::chrono::duration<double>(clock::now() - t0).count();
+      r.decompress_s += decomp_s;
+      r.latencies_us.push_back(decomp_s * 1e6);
       ++r.requests;
       const std::vector<u8> local_back = pfpl::decompress(local);
       if (back != local_back) {
@@ -224,6 +234,33 @@ int main(int argc, char** argv) {
     total.compress_s += r.compress_s;
     total.decompress_s += r.decompress_s;
     total.reconnects += r.reconnects;
+    total.latencies_us.insert(total.latencies_us.end(), r.latencies_us.begin(),
+                              r.latencies_us.end());
+  }
+
+  // Exact client-observed quantiles over every round trip (compress and
+  // decompress alike) — unlike the hist/* capture these are not bucketed.
+  double p50 = 0, p95 = 0, p99 = 0;
+  if (!total.latencies_us.empty()) {
+    std::sort(total.latencies_us.begin(), total.latencies_us.end());
+    auto at_q = [&](double q) {
+      const std::size_t n = total.latencies_us.size();
+      std::size_t i = static_cast<std::size_t>(q * static_cast<double>(n - 1) + 0.5);
+      if (i >= n) i = n - 1;
+      return total.latencies_us[i];
+    };
+    p50 = at_q(0.50);
+    p95 = at_q(0.95);
+    p99 = at_q(0.99);
+    std::fprintf(stderr, "loadgen: client latency p50=%.0fus p95=%.0fus p99=%.0fus "
+                         "(%zu samples)\n",
+                 p50, p95, p99, total.latencies_us.size());
+    // Advisory: a latency regression warns in the gate table but never fails
+    // the run (loopback latencies on shared CI machines are too noisy to
+    // block on).
+    bench::record_advisory_us("net_loadgen/client_p50", {p50});
+    bench::record_advisory_us("net_loadgen/client_p95", {p95});
+    bench::record_advisory_us("net_loadgen/client_p99", {p99});
   }
 
   if (server) {

@@ -164,6 +164,9 @@ struct GateState {
   bool update = false;
   double gate_pct = 0;
   std::map<std::string, std::vector<double>> samples;
+  /// Advisory latency samples (µs) from record_advisory_us — summarized
+  /// lower-is-better + advisory, so they warn but never fail the gate.
+  std::map<std::string, std::vector<double>> advisory;
 
   bool active() const { return update || !baseline_path.empty(); }
 };
@@ -381,6 +384,12 @@ void set_json_output(const std::string& path) {
   register_sink_flush();
 }
 
+void record_advisory_us(const std::string& key, const std::vector<double>& us) {
+  if (!gate_state().active() || us.empty()) return;
+  auto& dst = gate_state().advisory["adv/" + key];
+  dst.insert(dst.end(), us.begin(), us.end());
+}
+
 namespace {
 
 /// Direction of "better" for a row-metric key suffix.
@@ -411,6 +420,9 @@ std::map<std::string, obs::BaselineMetric> current_metrics() {
   std::map<std::string, obs::BaselineMetric> out;
   for (const auto& [key, samples] : gate_state().samples)
     out[key] = obs::summarize_samples(samples, better_of(key), unit_of(key));
+  for (const auto& [key, samples] : gate_state().advisory)
+    out[key] = obs::summarize_samples(samples, obs::Better::Lower, "us",
+                                      /*advisory=*/true);
   obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
   for (const std::string& name : reg.histogram_names()) {
     if (name.size() < 3 || name.compare(name.size() - 3, 3, "_us") != 0) continue;

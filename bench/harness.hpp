@@ -88,6 +88,15 @@ std::string rows_json(const std::vector<FigureRow>& rows);
 /// Enables observability (obs::set_enabled) so the report has content.
 void set_json_output(const std::string& path);
 
+/// Record client-observed latency samples (microseconds) under "adv/<key>".
+/// finish() summarizes them (median + MAD) into the baseline as ADVISORY
+/// lower-is-better metrics: a regression prints a warning in the gate table
+/// but never fails the run, and exact samples beat the coarse exponential
+/// buckets the automatic hist/* capture works from. No-op unless
+/// --baseline/--update-baseline is active (matches the row-sample
+/// accumulation in print_rows).
+void record_advisory_us(const std::string& key, const std::vector<double>& us);
+
 /// Finalize the run for baseline/gate purposes; every bench main returns
 /// finish() as its exit code. When `--update-baseline` was given, writes the
 /// accumulated row metrics (plus latency-histogram quantiles) to the

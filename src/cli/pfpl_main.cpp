@@ -28,6 +28,10 @@
 //   pfpl remote compress <in.raw> <out.pfpl> --host H:P --dtype ... --eb ... --eps ...
 //   pfpl remote decompress <in.pfpl> <out.raw> --host H:P
 //   pfpl remote stats|ping|shutdown --host H:P [--timeout-ms N]
+//   pfpl remote metrics --host H:P [--prom]   # registry dump (JSON or Prometheus)
+//   pfpl top --host H:P [--interval-ms N] [--count N]
+//   polls the METRICS op and renders rate-converted req/s, MB/s, latency
+//   quantiles, store hit ratio, and pool queue depth — one line per tick.
 //
 // Observability (valid on every verb, parsed before dispatch):
 //   --trace FILE    record spans and write a Chrome trace_event JSON
@@ -37,11 +41,13 @@
 //
 // Exit codes: 0 ok, 1 error (bad/corrupt input, I/O failure), 2 usage,
 // 3 verify/audit found a bound violation.
+#include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/pfpl.hpp"
@@ -51,6 +57,7 @@
 #include "net/server.hpp"
 #include "metrics/error_stats.hpp"
 #include "obs/audit.hpp"
+#include "obs/event_log.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
 #include "obs/report.hpp"
@@ -85,10 +92,14 @@ namespace {
                "  pfpl serve [--port N] [--bind ADDR] [--threads N]\n"
                "       [--max-inflight BYTES] [--exec serial|omp|gpusim]\n"
                "       [--store DIR] [--cache-mb N]   # answer repeats from the chunk store\n"
+               "       [--metrics-port N]  # plain-HTTP GET /metrics listener (0 = ephemeral)\n"
+               "       [--slow-ms N] [--slow-log FILE]  # capture + log slow requests\n"
                "  pfpl remote compress <in.raw> <out.pfpl> --host H:P --dtype f32|f64\n"
                "       --eb abs|rel|noa --eps <e>\n"
                "  pfpl remote decompress <in.pfpl> <out.raw> --host H:P\n"
                "  pfpl remote stats|ping|shutdown --host H:P [--timeout-ms N]\n"
+               "  pfpl remote metrics --host H:P [--prom]\n"
+               "  pfpl top --host H:P [--interval-ms N] [--count N]\n"
                "  pfpl store put <in.raw> --store DIR --dtype f32|f64 --eb abs|rel|noa\n"
                "       --eps <e> [--exec serial|omp|gpusim]\n"
                "  pfpl store get <key> <out.pfpl> --store DIR\n"
@@ -179,6 +190,13 @@ struct Flags {
   // PFPS chunk store (`pfpl serve|pack|store`).
   std::string store_dir;            ///< `--store DIR` (empty = no persistence)
   unsigned cache_mb = 0;            ///< `--cache-mb N` (0 = default 64)
+  // Live introspection (`pfpl serve` / `pfpl remote metrics` / `pfpl top`).
+  int slow_ms = 0;                  ///< `pfpl serve --slow-ms N` (0 = off)
+  std::string slow_log;             ///< `pfpl serve --slow-log FILE` (empty = stderr)
+  int metrics_port = -1;            ///< `pfpl serve --metrics-port N` (-1 = off)
+  bool prom = false;                ///< `pfpl remote metrics --prom`
+  int interval_ms = 1000;           ///< `pfpl top --interval-ms N`
+  int count = 0;                    ///< `pfpl top --count N` (0 = until ^C)
 };
 
 /// Parse `--flag value` pairs from argv[first..); non-flag arguments are
@@ -275,6 +293,44 @@ Flags parse_flags(int argc, char** argv, int first, std::vector<std::string>* po
       } catch (const std::exception&) {
         throw CompressionError("invalid value for --timeout-ms: '" + v + "'");
       }
+    } else if (a == "--slow-ms") {
+      std::string v = need("--slow-ms");
+      try {
+        fl.slow_ms = static_cast<int>(std::stol(v));
+        if (fl.slow_ms < 0) throw CompressionError("");
+      } catch (const std::exception&) {
+        throw CompressionError("invalid value for --slow-ms: '" + v + "'");
+      }
+    } else if (a == "--slow-log") {
+      fl.slow_log = need("--slow-log");
+    } else if (a == "--metrics-port") {
+      std::string v = need("--metrics-port");
+      try {
+        unsigned long p = std::stoul(v);
+        if (p > 65535) throw CompressionError("");
+        fl.metrics_port = static_cast<int>(p);
+      } catch (const std::exception&) {
+        throw CompressionError("invalid value for --metrics-port: '" + v + "'");
+      }
+    } else if (a == "--interval-ms") {
+      std::string v = need("--interval-ms");
+      try {
+        fl.interval_ms = static_cast<int>(std::stol(v));
+        if (fl.interval_ms <= 0) throw CompressionError("");
+      } catch (const std::exception&) {
+        throw CompressionError("invalid value for --interval-ms: '" + v +
+                               "' (expected a positive millisecond count)");
+      }
+    } else if (a == "--count") {
+      std::string v = need("--count");
+      try {
+        fl.count = static_cast<int>(std::stol(v));
+        if (fl.count < 0) throw CompressionError("");
+      } catch (const std::exception&) {
+        throw CompressionError("invalid value for --count: '" + v + "'");
+      }
+    } else if (a == "--prom") {
+      fl.prom = true;
     } else if (a == "--suite") {
       fl.suite = need("--suite");
     } else if (a == "--json") {
@@ -585,6 +641,16 @@ int cmd_serve(const std::vector<std::string>& positional, const Flags& fl) {
   opts.threads = fl.threads;
   if (fl.max_inflight) opts.max_inflight_bytes = fl.max_inflight;
   opts.exec = fl.params.exec;
+  opts.slow_ms = fl.slow_ms;
+  opts.metrics_port = fl.metrics_port;
+  if (!fl.slow_log.empty()) {
+    // Route slow-request events (and any other EventLog traffic) to a file
+    // instead of stderr. Deliberately independent of --trace/--metrics: the
+    // slow log is a production artifact, not a span-recording artifact.
+    obs::EventLog::Options lo;
+    lo.path = fl.slow_log;
+    obs::EventLog::global().configure(lo);
+  }
   if (!fl.store_dir.empty() || fl.cache_mb) {
     // --store DIR enables the persistent tier; --cache-mb alone runs a
     // memory-only result cache in front of the workers.
@@ -607,6 +673,13 @@ int cmd_serve(const std::vector<std::string>& positional, const Flags& fl) {
                 opts.store->cache().byte_budget() >> 20,
                 opts.store->persistent() ? " dir=" : " (memory only)",
                 fl.store_dir.c_str());
+  // Same contract as the serving line: parseable, flushed before the loop.
+  if (fl.metrics_port >= 0)
+    std::printf("pfpl: metrics on %s:%u (GET /metrics, /metrics.json, /stats)\n",
+                opts.bind_host.c_str(), static_cast<unsigned>(server.metrics_port()));
+  if (fl.slow_ms > 0)
+    std::printf("pfpl: slow-request capture: threshold=%dms log=%s\n", fl.slow_ms,
+                fl.slow_log.empty() ? "stderr" : fl.slow_log.c_str());
   std::fflush(stdout);
   server.run();
   std::signal(SIGINT, SIG_DFL);
@@ -671,6 +744,12 @@ int cmd_remote(const std::vector<std::string>& positional, const Flags& fl) {
     std::printf("%s\n", client.stats().c_str());
     return 0;
   }
+  if (verb == "metrics") {
+    // Prometheus text already ends in '\n'; the JSON document does not.
+    const std::string doc = client.metrics(fl.prom);
+    std::printf(fl.prom ? "%s" : "%s\n", doc.c_str());
+    return 0;
+  }
   if (verb == "ping") {
     client.ping();
     std::printf("pfpl: %s is alive\n", fl.host.c_str());
@@ -682,6 +761,148 @@ int cmd_remote(const std::vector<std::string>& positional, const Flags& fl) {
     return 0;
   }
   usage();
+}
+
+/// `pfpl top` — poll the server's METRICS op and render one status line per
+/// tick. Rates (req/s, MB/s, hit ratio) are deltas between consecutive
+/// scrapes; latency quantiles come from the net.request_us histogram bucket
+/// deltas over the same window, falling back to the server's cumulative
+/// quantiles on the first tick or when the window saw no requests. Columns
+/// show '-' when the server has span/metric recording disabled (the stats
+/// block is always live, so throughput still renders).
+int cmd_top(const std::vector<std::string>& positional, const Flags& fl) {
+  if (!positional.empty()) usage();
+  if (fl.host.empty()) {
+    std::fprintf(stderr, "pfpl top: --host H:P is required\n");
+    usage();
+  }
+  net::Client::Options copts;
+  net::split_host_port(fl.host, copts.host, copts.port);
+  if (fl.timeout_ms > 0) {
+    copts.connect_timeout_ms = fl.timeout_ms;
+    copts.request_timeout_ms = fl.timeout_ms;
+  }
+  net::Client client(copts);
+
+  struct Sample {
+    double t = 0;  ///< client-side steady seconds (dt base for rate conversion)
+    double req = 0, bytes_rx = 0, bytes_tx = 0, hits = 0, misses = 0;
+    double conns = 0, queue = 0, slow = 0, errors = 0;
+    bool has_hist = false;  ///< net.request_us present with count > 0
+    double p50 = 0, p95 = 0, p99 = 0;
+    std::vector<double> bounds, buckets;
+  };
+  auto num = [](const obs::JsonValue& o, const char* k) -> double {
+    return o.has(k) ? o.at(k).num : 0.0;
+  };
+  auto scrape = [&]() -> Sample {
+    Sample s;
+    s.t = std::chrono::duration<double>(
+              std::chrono::steady_clock::now().time_since_epoch())
+              .count();
+    const obs::JsonValue doc = obs::parse_json(client.metrics(false));
+    const obs::JsonValue& st = doc.at("stats");
+    s.req = num(st, "requests_compress") + num(st, "requests_decompress") +
+            num(st, "requests_other");
+    s.bytes_rx = num(st, "bytes_rx");
+    s.bytes_tx = num(st, "bytes_tx");
+    s.hits = num(st, "store_hits");
+    s.misses = num(st, "store_misses");
+    s.conns = num(st, "connections_current");
+    s.slow = num(st, "slow_requests_captured");
+    s.errors = num(st, "errors");
+    const obs::JsonValue& m = doc.at("metrics");
+    if (m.has("gauges") && m.at("gauges").has("svc.pool.queue_depth"))
+      s.queue = num(m.at("gauges").at("svc.pool.queue_depth"), "value");
+    if (m.has("histograms") && m.at("histograms").has("net.request_us")) {
+      const obs::JsonValue& h = m.at("histograms").at("net.request_us");
+      if (num(h, "count") > 0) {
+        s.has_hist = true;
+        s.p50 = num(h, "p50");
+        s.p95 = num(h, "p95");
+        s.p99 = num(h, "p99");
+        if (h.has("bounds"))
+          for (const obs::JsonValue& b : h.at("bounds").arr) s.bounds.push_back(b.num);
+        if (h.has("buckets"))
+          for (const obs::JsonValue& b : h.at("buckets").arr) s.buckets.push_back(b.num);
+      }
+    }
+    return s;
+  };
+  // Windowed quantile: upper edge of the bucket holding the q-th delta
+  // sample (overflow bucket reports the last finite edge — a floor).
+  auto bucket_q = [](const std::vector<double>& bounds, const std::vector<double>& d,
+                    double q) -> double {
+    double total = 0;
+    for (double v : d) total += v;
+    if (total <= 0 || bounds.empty()) return -1;
+    const double target = q * total;
+    double cum = 0;
+    for (std::size_t i = 0; i < d.size(); ++i) {
+      cum += d[i];
+      if (cum >= target) return i < bounds.size() ? bounds[i] : bounds.back();
+    }
+    return bounds.back();
+  };
+
+  const std::string ticks =
+      fl.count ? " (" + std::to_string(fl.count) + " ticks)" : std::string();
+  std::printf("pfpl top: %s every %dms%s\n", fl.host.c_str(), fl.interval_ms,
+              ticks.c_str());
+  std::printf("%10s %10s %10s %9s %9s %9s %6s %6s %6s %6s\n", "req/s", "rx MB/s",
+              "tx MB/s", "p50(us)", "p95(us)", "p99(us)", "hit%", "conns", "queue",
+              "slow");
+  std::fflush(stdout);
+
+  Sample prev = scrape();
+  for (int tick = 0; fl.count == 0 || tick < fl.count; ++tick) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(fl.interval_ms));
+    Sample cur = scrape();
+    double dt = cur.t - prev.t;
+    if (dt <= 0) dt = fl.interval_ms / 1000.0;
+    const double rps = (cur.req - prev.req) / dt;
+    const double rx = (cur.bytes_rx - prev.bytes_rx) / dt / 1e6;
+    const double tx = (cur.bytes_tx - prev.bytes_tx) / dt / 1e6;
+    const double dh = cur.hits - prev.hits, dm = cur.misses - prev.misses;
+    const bool have_hit = dh + dm > 0;
+    const double hit_pct = have_hit ? 100.0 * dh / (dh + dm) : 0.0;
+
+    double p50 = -1, p95 = -1, p99 = -1;
+    if (cur.has_hist && prev.has_hist && cur.buckets.size() == prev.buckets.size() &&
+        cur.bounds == prev.bounds && !cur.buckets.empty()) {
+      std::vector<double> d(cur.buckets.size());
+      for (std::size_t i = 0; i < d.size(); ++i) d[i] = cur.buckets[i] - prev.buckets[i];
+      p50 = bucket_q(cur.bounds, d, 0.50);
+      p95 = bucket_q(cur.bounds, d, 0.95);
+      p99 = bucket_q(cur.bounds, d, 0.99);
+    }
+    if (p50 < 0 && cur.has_hist) {
+      // First tick, or an idle window: fall back to lifetime quantiles.
+      p50 = cur.p50;
+      p95 = cur.p95;
+      p99 = cur.p99;
+    }
+
+    char q50[32], q95[32], q99[32], hitbuf[16];
+    auto fmt_q = [](char* buf, std::size_t n, double v) {
+      if (v < 0)
+        std::snprintf(buf, n, "-");
+      else
+        std::snprintf(buf, n, "%.0f", v);
+    };
+    fmt_q(q50, sizeof q50, p50);
+    fmt_q(q95, sizeof q95, p95);
+    fmt_q(q99, sizeof q99, p99);
+    if (have_hit)
+      std::snprintf(hitbuf, sizeof hitbuf, "%.1f", hit_pct);
+    else
+      std::snprintf(hitbuf, sizeof hitbuf, "-");
+    std::printf("%10.1f %10.2f %10.2f %9s %9s %9s %6s %6.0f %6.0f %6.0f\n", rps, rx,
+                tx, q50, q95, q99, hitbuf, cur.conns, cur.queue, cur.slow);
+    std::fflush(stdout);
+    prev = cur;
+  }
+  return 0;
 }
 
 /// `pfpl store put/get/ls/compact/verify` — operate a PFPS store directly.
@@ -788,12 +1009,13 @@ int cmd_store(const std::vector<std::string>& positional, const Flags& fl) {
 int run_command(int argc, char** argv) {
   if (argc < 2) usage();
   std::string mode = argv[1];
-  // `audit` and `serve` take no positional arguments; every other verb
-  // needs at least one.
-  if (mode != "audit" && mode != "serve" && argc < 3) usage();
+  // `audit`, `serve`, and `top` take no positional arguments; every other
+  // verb needs at least one.
+  if (mode != "audit" && mode != "serve" && mode != "top" && argc < 3) usage();
   try {
     if (mode == "pack" || mode == "unpack" || mode == "list" || mode == "stats" ||
-        mode == "audit" || mode == "serve" || mode == "remote" || mode == "store") {
+        mode == "audit" || mode == "serve" || mode == "remote" || mode == "store" ||
+        mode == "top") {
       std::vector<std::string> positional;
       Flags fl = parse_flags(argc, argv, 2, &positional);
       if (mode == "pack") return cmd_pack(positional, fl);
@@ -803,6 +1025,7 @@ int run_command(int argc, char** argv) {
       if (mode == "serve") return cmd_serve(positional, fl);
       if (mode == "remote") return cmd_remote(positional, fl);
       if (mode == "store") return cmd_store(positional, fl);
+      if (mode == "top") return cmd_top(positional, fl);
       return cmd_list(positional);
     }
     if (mode == "info") {

@@ -74,6 +74,7 @@ Field make_field(const Bytes& raw, DType dtype) {
 
 ProbeResult probe_compress(store::ChunkStore& cs, const void* raw, std::size_t n,
                            DType dtype, EbType eb, double eps, Bytes& stream_out) {
+  OBS_SPAN("ingest.probe");
   ProbeResult pr;
   pr.key = store::compress_key(raw, n, dtype, eb, eps);
   pr.hit = cs.get(pr.key, stream_out);

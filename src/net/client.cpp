@@ -1,9 +1,12 @@
 #include "net/client.hpp"
 
+#include <unistd.h>
+
 #include <chrono>
 #include <cstring>
 
 #include "common/checksum.hpp"
+#include "common/hash.hpp"
 #include "obs/metrics.hpp"
 
 namespace repro::net {
@@ -37,43 +40,74 @@ void Client::ensure_connected() {
   ever_connected_ = true;
 }
 
-Frame Client::roundtrip_once(const FrameHeader& h, const void* payload, std::size_t n) {
-  ensure_connected();
-  const Bytes wire = encode_frame(h, payload, n);
-  send_all(sock_.fd(), wire.data(), wire.size(), opts_.request_timeout_ms);
-
-  u8 hdr[kFrameHeaderSize];
-  recv_all(sock_.fd(), hdr, sizeof(hdr), opts_.request_timeout_ms);
-  FrameHeader rh = decode_frame_header(hdr);  // NetError on bad magic/version
-  if (!rh.is_response() || rh.base_op() != h.base_op())
-    throw NetError("PFPN: response op mismatch (sent " +
-                   std::string(to_string(static_cast<Op>(h.base_op()))) + ", got op " +
-                   std::to_string(rh.op) + ")");
-  if (rh.request_id != h.request_id)
-    throw NetError("PFPN: response id mismatch (sent " + std::to_string(h.request_id) +
-                   ", got " + std::to_string(rh.request_id) + ")");
-  if (rh.payload_len > opts_.max_response_payload)
-    throw NetError("PFPN: response payload of " + std::to_string(rh.payload_len) +
-                   " bytes exceeds the client limit");
-  Frame out;
-  out.header = rh;
-  out.payload.resize(static_cast<std::size_t>(rh.payload_len));
-  if (rh.payload_len)
-    recv_all(sock_.fd(), out.payload.data(), out.payload.size(),
-             opts_.request_timeout_ms);
-  if (common::crc32(out.payload.data(), out.payload.size()) != rh.payload_crc)
-    throw NetError("PFPN: response payload CRC mismatch");
-  if (rh.status != static_cast<u16>(Status::Ok)) {
-    const std::string text(out.payload.begin(), out.payload.end());
-    throw RemoteError(rh.status, "PFPN: server error " + status_name(rh.status) +
-                                     (text.empty() ? "" : ": " + text));
+u64 Client::fresh_id() {
+  if (next_id_ == 0) {
+    // Seed the id counter per client instance (pid + clock + object address)
+    // so ids from different clients — and different processes — land in
+    // disjoint ranges and a server-side slow-log/trace entry names exactly
+    // one request. Probabilistic, not coordinated: 64 bits is plenty.
+    struct {
+      u64 pid;
+      u64 t;
+      u64 self;
+    } seed{static_cast<u64>(::getpid()),
+           static_cast<u64>(std::chrono::steady_clock::now().time_since_epoch().count()),
+           reinterpret_cast<u64>(this)};
+    const common::Hash128 h = common::hash128(&seed, sizeof seed);
+    next_id_ = h.hi ? h.hi : 1;  // 0 means "no context" in traces; avoid it
   }
-  return out;
+  u64 id = next_id_++;
+  if (id == 0) id = next_id_++;  // counter wrapped across 0
+  last_id_ = id;
+  return id;
+}
+
+Frame Client::roundtrip_once(const FrameHeader& h, const void* payload, std::size_t n) {
+  // Every failure below carries the request_id, so a client-side error can
+  // be matched against the server's slow-request log and trace spans.
+  const std::string id_tag = " (request_id " + std::to_string(h.request_id) + ")";
+  try {
+    ensure_connected();
+    const Bytes wire = encode_frame(h, payload, n);
+    send_all(sock_.fd(), wire.data(), wire.size(), opts_.request_timeout_ms);
+
+    u8 hdr[kFrameHeaderSize];
+    recv_all(sock_.fd(), hdr, sizeof(hdr), opts_.request_timeout_ms);
+    FrameHeader rh = decode_frame_header(hdr);  // NetError on bad magic/version
+    if (!rh.is_response() || rh.base_op() != h.base_op())
+      throw NetError("PFPN: response op mismatch (sent " +
+                     std::string(to_string(static_cast<Op>(h.base_op()))) + ", got op " +
+                     std::to_string(rh.op) + ")");
+    if (rh.request_id != h.request_id)
+      throw NetError("PFPN: response id mismatch (sent " + std::to_string(h.request_id) +
+                     ", got " + std::to_string(rh.request_id) + ")");
+    if (rh.payload_len > opts_.max_response_payload)
+      throw NetError("PFPN: response payload of " + std::to_string(rh.payload_len) +
+                     " bytes exceeds the client limit");
+    Frame out;
+    out.header = rh;
+    out.payload.resize(static_cast<std::size_t>(rh.payload_len));
+    if (rh.payload_len)
+      recv_all(sock_.fd(), out.payload.data(), out.payload.size(),
+               opts_.request_timeout_ms);
+    if (common::crc32(out.payload.data(), out.payload.size()) != rh.payload_crc)
+      throw NetError("PFPN: response payload CRC mismatch");
+    if (rh.status != static_cast<u16>(Status::Ok)) {
+      const std::string text(out.payload.begin(), out.payload.end());
+      throw RemoteError(rh.status, "PFPN: server error " + status_name(rh.status) +
+                                       (text.empty() ? "" : ": " + text) + id_tag);
+    }
+    return out;
+  } catch (const RemoteError&) {
+    throw;  // already tagged above
+  } catch (const NetError& e) {
+    throw NetError(std::string(e.what()) + id_tag);
+  }
 }
 
 Frame Client::roundtrip(const FrameHeader& base, const void* payload, std::size_t n) {
   FrameHeader h = base;
-  h.request_id = next_id_++;
+  h.request_id = fresh_id();
   const u64 t0 = now_us();
   try {
     Frame f = roundtrip_once(h, payload, n);
@@ -87,7 +121,7 @@ Frame Client::roundtrip(const FrameHeader& base, const void* payload, std::size_
     // Transport failure: the connection state is unknown, so drop it and
     // retry exactly once on a fresh one (requests are pure => idempotent).
     sock_.close();
-    h.request_id = next_id_++;
+    h.request_id = fresh_id();
     Frame f = roundtrip_once(h, payload, n);
     ++requests_;
     client_request_us().record(now_us() - t0);
@@ -115,6 +149,14 @@ std::string Client::stats() {
   FrameHeader h;
   h.op = static_cast<u8>(Op::Stats);
   Frame f = roundtrip(h, nullptr, 0);
+  return std::string(f.payload.begin(), f.payload.end());
+}
+
+std::string Client::metrics(bool prom) {
+  FrameHeader h;
+  h.op = static_cast<u8>(Op::Metrics);
+  const char* fmt = prom ? "prom" : "json";
+  Frame f = roundtrip(h, fmt, std::strlen(fmt));
   return std::string(f.payload.begin(), f.payload.end());
 }
 

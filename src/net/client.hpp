@@ -52,6 +52,10 @@ class Client {
   /// Server stats JSON (the STATS op payload).
   std::string stats();
 
+  /// Server metrics (the METRICS op): the pfpl-metrics/1 JSON document, or
+  /// Prometheus text exposition format when `prom` is true.
+  std::string metrics(bool prom = false);
+
   /// Round-trip an empty PING (connectivity + liveness check).
   void ping();
 
@@ -63,15 +67,21 @@ class Client {
   u64 requests() const { return requests_; }
   /// Reconnects performed after the initial connect.
   u64 reconnects() const { return reconnects_; }
+  /// The request_id the most recent round trip was sent with (0 before the
+  /// first request). Matches the id in RemoteError/NetError text and in the
+  /// server's slow-request log and trace spans.
+  u64 last_request_id() const { return last_id_; }
 
  private:
   void ensure_connected();
+  u64 fresh_id();
   Frame roundtrip(const FrameHeader& h, const void* payload, std::size_t n);
   Frame roundtrip_once(const FrameHeader& h, const void* payload, std::size_t n);
 
   Options opts_;
   Socket sock_;
-  u64 next_id_ = 1;
+  u64 next_id_ = 0;  ///< 0 = unseeded; fresh_id() seeds per client instance
+  u64 last_id_ = 0;
   u64 requests_ = 0;
   u64 reconnects_ = 0;
   bool ever_connected_ = false;

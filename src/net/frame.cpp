@@ -61,6 +61,7 @@ const char* to_string(Op op) {
     case Op::Stats: return "STATS";
     case Op::Ping: return "PING";
     case Op::Shutdown: return "SHUTDOWN";
+    case Op::Metrics: return "METRICS";
   }
   return "?";
 }

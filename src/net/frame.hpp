@@ -60,6 +60,8 @@ enum class Op : u8 {
   Stats = 3,       ///< empty payload; response payload: server-stats JSON
   Ping = 4,        ///< empty payload; response: empty payload
   Shutdown = 5,    ///< begin graceful drain; response: empty payload
+  Metrics = 6,     ///< payload: "" or "json" for JSON, "prom" for Prometheus
+                   ///< text; response payload: the rendered metrics document
 };
 
 inline constexpr u8 kResponseBit = 0x80;

@@ -6,6 +6,7 @@
 #include <netinet/tcp.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cmath>
@@ -18,6 +19,8 @@
 #include <vector>
 
 #include "ingest/pipeline.hpp"
+#include "obs/event_log.hpp"
+#include "obs/exposition.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -39,6 +42,8 @@ struct NetMetrics {
   obs::Counter& errors;
   obs::Counter& store_hits;
   obs::Counter& store_misses;
+  obs::Counter& slow_requests;
+  obs::Counter& metrics_scrapes;
   obs::Gauge& connections;
   obs::Gauge& inflight_bytes;
   obs::Histogram& request_us;
@@ -55,6 +60,8 @@ struct NetMetrics {
                         r.counter("net.errors"),
                         r.counter("net.store_hits"),
                         r.counter("net.store_misses"),
+                        r.counter("net.slow_requests"),
+                        r.counter("net.metrics_scrapes"),
                         r.gauge("net.connections"),
                         r.gauge("net.inflight_bytes"),
                         r.histogram("net.request_us"),
@@ -101,8 +108,36 @@ struct Completion {
   Bytes frame;                ///< encoded response (success or error)
   std::size_t release = 0;    ///< in-flight payload bytes to give back
   u64 t0_ns = 0;              ///< dispatch timestamp
+  u64 work_start_ns = 0;      ///< worker picked the task up (queue-wait end)
+  u64 work_ns = 0;            ///< compute time inside the worker
+  u64 request_id = 0;
   u8 op = 0;                  ///< request op (for per-op latency histograms)
+  u8 dtype = 0;
   bool is_error = false;
+};
+
+/// One entry of the slow-request ring: everything needed to line a server
+/// observation up with the client's error text and the request's trace spans.
+struct SlowRequest {
+  u64 request_id = 0;
+  u64 conn_id = 0;
+  u8 op = 0;
+  u8 dtype = 0;
+  u64 payload_bytes = 0;
+  u64 total_us = 0;  ///< dispatch -> completion processed on the loop
+  u64 wait_us = 0;   ///< dispatch -> worker start (pool queue + scheduling)
+  u64 work_us = 0;   ///< worker compute time
+};
+
+/// A connection on the plain-HTTP metrics listener. One request per
+/// connection (Connection: close); the whole exchange rides the poll loop.
+struct HttpConn {
+  Socket sock;
+  std::string in;            ///< request bytes until the header terminator
+  std::string out;           ///< rendered response
+  std::size_t out_off = 0;
+  bool no_read = false;
+  explicit HttpConn(Socket s) : sock(std::move(s)) {}
 };
 
 }  // namespace
@@ -110,11 +145,15 @@ struct Completion {
 struct Server::Impl {
   Options opts;
   Socket listen;
+  Socket mlisten;  ///< optional HTTP /metrics listener
+  u16 metrics_port_bound = 0;
   int wake_r = -1, wake_w = -1;
   std::unique_ptr<svc::ThreadPool> pool;
 
   std::map<u64, std::unique_ptr<Connection>> conns;
+  std::map<u64, std::unique_ptr<HttpConn>> http_conns;
   u64 next_conn_id = 1;
+  u64 next_http_id = 1;
   bool draining = false;
   u64 drain_deadline_ns = 0;
   u64 start_ns = now_ns();
@@ -123,6 +162,12 @@ struct Server::Impl {
   std::mutex comp_m;
   std::vector<Completion> completions;
 
+  /// Slow-request ring, sorted by total_us descending, capped at
+  /// opts.slow_capacity. Written on the loop thread; the mutex covers
+  /// external stats_json()/metrics_json() readers.
+  mutable std::mutex slow_m;
+  std::vector<SlowRequest> slow;
+
   // Always-live service counters (the STATS op's source of truth).
   struct {
     std::atomic<u64> connections_accepted{0}, connections_current{0};
@@ -130,11 +175,16 @@ struct Server::Impl {
     std::atomic<u64> requests_compress{0}, requests_decompress{0}, requests_other{0};
     std::atomic<u64> errors{0}, store_hits{0}, store_misses{0};
     std::atomic<u64> inflight_bytes{0}, peak_inflight_bytes{0};
+    std::atomic<u64> slow_requests{0}, metrics_scrapes{0};
     std::atomic<bool> draining{false};
   } st;
 
   explicit Impl(const Options& o) : opts(o) {
     listen = tcp_listen(o.bind_host, o.port);
+    if (o.metrics_port >= 0) {
+      mlisten = tcp_listen(o.bind_host, static_cast<u16>(o.metrics_port));
+      metrics_port_bound = local_port(mlisten);
+    }
     int fds[2];
     if (::pipe(fds) != 0) throw NetError("net: pipe: " + std::string(std::strerror(errno)));
     wake_r = fds[0];
@@ -174,6 +224,8 @@ struct Server::Impl {
     out.store_misses = st.store_misses.load(std::memory_order_relaxed);
     out.inflight_bytes = st.inflight_bytes.load(std::memory_order_relaxed);
     out.peak_inflight_bytes = st.peak_inflight_bytes.load(std::memory_order_relaxed);
+    out.slow_requests = st.slow_requests.load(std::memory_order_relaxed);
+    out.metrics_scrapes = st.metrics_scrapes.load(std::memory_order_relaxed);
     out.draining = st.draining.load(std::memory_order_relaxed);
     return out;
   }
@@ -204,6 +256,10 @@ struct Server::Impl {
     w.kv("errors", static_cast<unsigned long long>(s.errors));
     w.kv("inflight_bytes", static_cast<unsigned long long>(s.inflight_bytes));
     w.kv("peak_inflight_bytes", static_cast<unsigned long long>(s.peak_inflight_bytes));
+    w.kv("metrics_scrapes", static_cast<unsigned long long>(s.metrics_scrapes));
+    w.kv("slow_ms", opts.slow_ms);
+    w.kv("slow_requests_captured", static_cast<unsigned long long>(s.slow_requests));
+    w.key("slow_requests").raw(slow_json());
     if (opts.store) {
       w.kv("store_hits", static_cast<unsigned long long>(s.store_hits));
       w.kv("store_misses", static_cast<unsigned long long>(s.store_misses));
@@ -211,6 +267,86 @@ struct Server::Impl {
     }
     w.end_object();
     return w.take();
+  }
+
+  /// The slow-request ring as a JSON array, slowest first.
+  std::string slow_json() const {
+    std::lock_guard<std::mutex> lk(slow_m);
+    obs::JsonWriter w;
+    w.begin_array();
+    for (const SlowRequest& s : slow) {
+      w.begin_object();
+      w.kv("request_id", static_cast<unsigned long long>(s.request_id));
+      w.kv("conn", static_cast<unsigned long long>(s.conn_id));
+      w.kv("op", to_string(static_cast<Op>(s.op)));
+      w.kv("dtype", static_cast<unsigned long long>(s.dtype));
+      w.kv("payload_bytes", static_cast<unsigned long long>(s.payload_bytes));
+      w.kv("total_us", static_cast<unsigned long long>(s.total_us));
+      w.kv("wait_us", static_cast<unsigned long long>(s.wait_us));
+      w.kv("work_us", static_cast<unsigned long long>(s.work_us));
+      w.end_object();
+    }
+    w.end_array();
+    return w.take();
+  }
+
+  /// The METRICS-op JSON document: registry + live stats + slow ring.
+  std::string metrics_doc() const {
+    const std::string extra =
+        "\"stats\":" + stats_json() + ",\"slow_requests\":" + slow_json();
+    return obs::metrics_json_doc(extra);
+  }
+
+  /// Loop-thread only (process_completions): admit a finished request to the
+  /// slow ring if it cleared the threshold, and log it through the EventLog.
+  void note_slow(const Completion& comp, u64 total_us) {
+    if (opts.slow_ms <= 0 ||
+        total_us < static_cast<u64>(opts.slow_ms) * 1000)
+      return;
+    SlowRequest s;
+    s.request_id = comp.request_id;
+    s.conn_id = comp.conn_id;
+    s.op = comp.op;
+    s.dtype = comp.dtype;
+    s.payload_bytes = comp.release;
+    s.total_us = total_us;
+    // work_start can only postdate t0 (same steady clock, same process);
+    // guard anyway so a zero work_start (error path) cannot wrap.
+    s.wait_us = comp.work_start_ns >= comp.t0_ns
+                    ? (comp.work_start_ns - comp.t0_ns) / 1000
+                    : 0;
+    s.work_us = comp.work_ns / 1000;
+    st.slow_requests.fetch_add(1, std::memory_order_relaxed);
+    NetMetrics::get().slow_requests.add(1);
+    {
+      std::lock_guard<std::mutex> lk(slow_m);
+      auto pos = std::lower_bound(
+          slow.begin(), slow.end(), s,
+          [](const SlowRequest& a, const SlowRequest& b) {
+            return a.total_us > b.total_us;  // descending
+          });
+      if (pos == slow.end() && slow.size() >= opts.slow_capacity) {
+        // Slower entries already fill the ring.
+      } else {
+        slow.insert(pos, s);
+        if (slow.size() > opts.slow_capacity) slow.pop_back();
+      }
+    }
+    obs::EventLog& log = obs::EventLog::global();
+    if (log.would_log(obs::LogLevel::Warn)) {
+      obs::JsonWriter w;
+      w.begin_object();
+      w.kv("request_id", static_cast<unsigned long long>(s.request_id));
+      w.kv("conn", static_cast<unsigned long long>(s.conn_id));
+      w.kv("op", to_string(static_cast<Op>(s.op)));
+      w.kv("dtype", static_cast<unsigned long long>(s.dtype));
+      w.kv("payload_bytes", static_cast<unsigned long long>(s.payload_bytes));
+      w.kv("total_us", static_cast<unsigned long long>(s.total_us));
+      w.kv("wait_us", static_cast<unsigned long long>(s.wait_us));
+      w.kv("work_us", static_cast<unsigned long long>(s.work_us));
+      w.end_object();
+      log.emit(obs::LogLevel::Warn, "slow_request", w.take());
+    }
   }
 
   /// Per-request store outcome, from worker threads (atomics only).
@@ -304,12 +440,25 @@ struct Server::Impl {
     const u64 conn_id = c.id;
     const u64 t0 = now_ns();
     Impl* self = this;
+    // The submit below runs under handle_frame's TraceContext scope, so the
+    // pool captures h.request_id into the task and re-installs it around
+    // execution — every span the worker opens is tagged with the request.
     pool->submit([self, payload, h, exec, cs, conn_id, t0, n] {
       Completion comp;
       comp.conn_id = conn_id;
       comp.release = n;
       comp.t0_ns = t0;
+      comp.work_start_ns = now_ns();
+      comp.request_id = h.request_id;
       comp.op = h.base_op();
+      comp.dtype = h.dtype;
+      // Belt and braces: tag the worker explicitly too, so the request
+      // scoping survives even if the task ran on a path that did not thread
+      // the pool's captured context (e.g. obs was flipped on mid-request).
+      obs::TraceContext::Scope trace_ctx(h.request_id);
+      obs::ScopedSpan work_span(h.base_op() == static_cast<u8>(Op::Compress)
+                                    ? "net.work.compress"
+                                    : "net.work.decompress");
       try {
         test_slowdown();
         if (h.base_op() == static_cast<u8>(Op::Compress)) {
@@ -375,6 +524,7 @@ struct Server::Impl {
                                         e.what());
         comp.is_error = true;
       }
+      comp.work_ns = now_ns() - comp.work_start_ns;
       {
         std::lock_guard<std::mutex> lk(self->comp_m);
         self->completions.push_back(std::move(comp));
@@ -398,6 +548,11 @@ struct Server::Impl {
 
   void handle_frame(Connection& c, Frame&& f) {
     const FrameHeader& h = f.header;
+    // Request-scoped tracing starts here: everything on the loop (validation,
+    // dispatch/enqueue) and — via the pool's context capture — everything in
+    // the worker runs under this request id.
+    obs::TraceContext::Scope trace_ctx(h.request_id);
+    OBS_SPAN("net.handle_frame");
     st.frames_rx.fetch_add(1, std::memory_order_relaxed);
     NetMetrics::get().frames_rx.add(1);
     if (h.is_response() || h.status != 0) {
@@ -431,6 +586,28 @@ struct Server::Impl {
         rh.request_id = h.request_id;
         queue_response(c, encode_frame(rh, nullptr, 0), /*is_error=*/false);
         begin_drain();
+        return;
+      }
+      case Op::Metrics: {
+        st.requests_other.fetch_add(1, std::memory_order_relaxed);
+        const std::string fmt(f.payload.begin(), f.payload.end());
+        std::string doc;
+        if (fmt == "prom") {
+          doc = obs::prometheus_text();
+        } else if (fmt.empty() || fmt == "json") {
+          doc = metrics_doc();
+        } else {
+          queue_error(c, h.request_id, h.op, Status::BadParams,
+                      "unknown metrics format '" + fmt + "'");
+          return;
+        }
+        st.metrics_scrapes.fetch_add(1, std::memory_order_relaxed);
+        NetMetrics::get().metrics_scrapes.add(1);
+        FrameHeader rh;
+        rh.op = h.op | kResponseBit;
+        rh.request_id = h.request_id;
+        queue_response(c, encode_frame(rh, doc.data(), doc.size()),
+                       /*is_error=*/false);
         return;
       }
       case Op::Compress: {
@@ -543,6 +720,8 @@ struct Server::Impl {
     st.draining.store(true, std::memory_order_relaxed);
     drain_deadline_ns = now_ns() + static_cast<u64>(opts.drain_timeout_ms) * 1000000ull;
     listen.close();  // stop accepting; queued SYNs get RST from the kernel
+    mlisten.close();
+    http_conns.clear();  // scrapes are stateless; no point flushing them out
     for (auto& [id, c] : conns) {
       while (!c->deferred.empty()) {
         Frame f = std::move(c->deferred.front());
@@ -565,6 +744,7 @@ struct Server::Impl {
       m.request_us.record(us);
       if (comp.op == static_cast<u8>(Op::Compress)) m.compress_us.record(us);
       if (comp.op == static_cast<u8>(Op::Decompress)) m.decompress_us.record(us);
+      note_slow(comp, us);
       auto it = conns.find(comp.conn_id);
       if (it == conns.end()) {
         // Connection died before its answer was ready: close_conn already
@@ -599,6 +779,110 @@ struct Server::Impl {
       m.connections.set(static_cast<long long>(
           st.connections_current.load(std::memory_order_relaxed)));
     }
+  }
+
+  // -- HTTP /metrics listener ----------------------------------------------
+
+  void http_accept() {
+    for (;;) {
+      const int fd = ::accept(mlisten.fd(), nullptr, nullptr);
+      if (fd < 0) return;  // EAGAIN/EINTR/transient: poll re-arms us
+      Socket s(fd);
+      set_nonblocking(fd, true);
+      http_conns.emplace(next_http_id++, std::make_unique<HttpConn>(std::move(s)));
+    }
+  }
+
+  /// Render the response for a parsed request line. Only GET is served; the
+  /// handful of paths map straight onto the PFPN STATS/METRICS payloads.
+  std::string http_response(const std::string& method, const std::string& path) {
+    std::string status = "200 OK";
+    std::string ctype = "text/plain; charset=utf-8";
+    std::string body;
+    if (method != "GET") {
+      status = "405 Method Not Allowed";
+      body = "only GET is supported\n";
+    } else if (path == "/metrics") {
+      body = obs::prometheus_text();
+      ctype = "text/plain; version=0.0.4; charset=utf-8";
+    } else if (path == "/metrics.json") {
+      body = metrics_doc();
+      ctype = "application/json";
+    } else if (path == "/stats") {
+      body = stats_json();
+      ctype = "application/json";
+    } else {
+      status = "404 Not Found";
+      body = "unknown path (try /metrics, /metrics.json, /stats)\n";
+    }
+    if (status[0] == '2' && (path == "/metrics" || path == "/metrics.json")) {
+      st.metrics_scrapes.fetch_add(1, std::memory_order_relaxed);
+      NetMetrics::get().metrics_scrapes.add(1);
+    }
+    std::string resp = "HTTP/1.1 " + status + "\r\n";
+    resp += "Content-Type: " + ctype + "\r\n";
+    resp += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+    resp += "Connection: close\r\n\r\n";
+    resp += body;
+    return resp;
+  }
+
+  void http_read(HttpConn& hc) {
+    char buf[4096];
+    while (hc.out.empty()) {
+      const ssize_t rc = ::recv(hc.sock.fd(), buf, sizeof(buf), 0);
+      if (rc > 0) {
+        hc.in.append(buf, static_cast<std::size_t>(rc));
+      } else if (rc == 0) {
+        hc.no_read = true;
+        break;
+      } else if (errno == EINTR) {
+        continue;
+      } else {
+        if (!(errno == EAGAIN || errno == EWOULDBLOCK)) hc.no_read = true;
+        break;
+      }
+      const std::size_t hdr_end = hc.in.find("\r\n\r\n");
+      if (hdr_end != std::string::npos) {
+        // Request line: METHOD SP PATH SP VERSION. Anything malformed gets
+        // a 404 from the path match rather than special-casing.
+        const std::size_t line_end = hc.in.find("\r\n");
+        std::string method, path;
+        const std::string line = hc.in.substr(0, line_end);
+        const std::size_t sp1 = line.find(' ');
+        if (sp1 != std::string::npos) {
+          method = line.substr(0, sp1);
+          const std::size_t sp2 = line.find(' ', sp1 + 1);
+          path = line.substr(sp1 + 1, sp2 == std::string::npos
+                                          ? std::string::npos
+                                          : sp2 - sp1 - 1);
+        }
+        hc.out = http_response(method, path);
+        break;
+      }
+      if (hc.in.size() > 8192) {  // header cap: refuse absurd requests
+        hc.out = "HTTP/1.1 400 Bad Request\r\nContent-Length: 0\r\n"
+                 "Connection: close\r\n\r\n";
+        hc.no_read = true;
+        break;
+      }
+    }
+  }
+
+  /// Returns true when the connection is finished and should be closed.
+  bool http_flush(HttpConn& hc) {
+    while (hc.out_off < hc.out.size()) {
+      const ssize_t rc = ::send(hc.sock.fd(), hc.out.data() + hc.out_off,
+                                hc.out.size() - hc.out_off, MSG_NOSIGNAL);
+      if (rc > 0) {
+        hc.out_off += static_cast<std::size_t>(rc);
+        continue;
+      }
+      if (rc < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return false;
+      if (rc < 0 && errno == EINTR) continue;
+      return true;  // peer gone
+    }
+    return !hc.out.empty();  // fully flushed (one response per connection)
   }
 
   void close_conn(std::map<u64, std::unique_ptr<Connection>>::iterator it) {
@@ -648,6 +932,19 @@ struct Server::Impl {
         pfds.push_back({c->sock.fd(), ev, 0});
         pfd_conn.push_back(id);
       }
+      const std::size_t end_conn = pfds.size();
+      std::size_t mlisten_idx = SIZE_MAX;
+      if (mlisten.valid()) {
+        mlisten_idx = pfds.size();
+        pfds.push_back({mlisten.fd(), POLLIN, 0});
+        pfd_conn.push_back(0);
+      }
+      const std::size_t first_http = pfds.size();
+      for (auto& [id, hc] : http_conns) {
+        pfds.push_back({hc->sock.fd(),
+                        static_cast<short>(hc->out.empty() ? POLLIN : POLLOUT), 0});
+        pfd_conn.push_back(id);
+      }
 
       const int rc = ::poll(pfds.data(), pfds.size(), draining ? 20 : 200);
       if (rc < 0 && errno != EINTR)
@@ -663,7 +960,7 @@ struct Server::Impl {
       if (listen.valid() && pfds.size() > 1 && (pfds[1].revents & POLLIN))
         accept_ready();
 
-      for (std::size_t i = first_conn; i < pfds.size(); ++i) {
+      for (std::size_t i = first_conn; i < end_conn; ++i) {
         auto it = conns.find(pfd_conn[i]);
         if (it == conns.end()) continue;  // closed earlier this round
         Connection& c = *it->second;
@@ -684,6 +981,20 @@ struct Server::Impl {
         if (c.no_read && c.inflight == 0 && c.deferred.empty() && c.outq.empty())
           close_conn(it);
       }
+
+      if (mlisten_idx != SIZE_MAX && (pfds[mlisten_idx].revents & POLLIN))
+        http_accept();
+      for (std::size_t i = first_http; i < pfds.size(); ++i) {
+        auto it = http_conns.find(pfd_conn[i]);
+        if (it == http_conns.end()) continue;  // cleared by a drain this round
+        HttpConn& hc = *it->second;
+        bool done = (pfds[i].revents & (POLLERR | POLLNVAL | POLLHUP)) != 0 &&
+                    hc.out.empty();
+        if (!done && (pfds[i].revents & POLLIN)) http_read(hc);
+        if (!done && !hc.out.empty()) done = http_flush(hc);
+        if (!done && hc.no_read && hc.out.empty()) done = true;
+        if (done) http_conns.erase(it);
+      }
     }
     // Every connection is gone; quiesce the pool (completions for closed
     // conns are dropped) and drop whatever the workers pushed meanwhile.
@@ -694,6 +1005,7 @@ struct Server::Impl {
 
 Server::Server(const Options& opts) : impl_(std::make_unique<Impl>(opts)) {
   port_ = local_port(impl_->listen);
+  metrics_port_ = impl_->metrics_port_bound;
 }
 
 Server::~Server() = default;
@@ -708,5 +1020,7 @@ void Server::request_stop() {
 Server::Stats Server::stats() const { return impl_->snapshot(); }
 
 std::string Server::stats_json() const { return impl_->stats_json(); }
+
+std::string Server::metrics_json() const { return impl_->metrics_doc(); }
 
 }  // namespace repro::net

@@ -57,6 +57,14 @@ class Server {
     /// are stored back. Shared so the CLI can keep a handle for shutdown
     /// stats. Null = no store (compute every request).
     std::shared_ptr<store::ChunkStore> store;
+    /// Slow-request capture: requests whose total latency reaches `slow_ms`
+    /// enter a ring of the `slow_capacity` slowest (exposed via STATS and
+    /// METRICS, logged through obs::EventLog). 0 disables capture.
+    int slow_ms = 0;
+    std::size_t slow_capacity = 32;
+    /// Plain-HTTP GET /metrics listener on the same poll loop, for scrapers
+    /// that do not speak PFPN: -1 = disabled, 0 = ephemeral, else the port.
+    int metrics_port = -1;
   };
 
   /// Plain-atomic service counters (live regardless of obs::enabled(), so
@@ -76,6 +84,8 @@ class Server {
     u64 store_misses = 0;     ///< requests that had to compute (store attached)
     u64 inflight_bytes = 0;
     u64 peak_inflight_bytes = 0;
+    u64 slow_requests = 0;    ///< requests captured by the slow-request ring
+    u64 metrics_scrapes = 0;  ///< METRICS ops + HTTP /metrics[.json] GETs
     bool draining = false;
   };
 
@@ -88,6 +98,8 @@ class Server {
   Server& operator=(const Server&) = delete;
 
   u16 port() const { return port_; }
+  /// Bound port of the HTTP /metrics listener (0 when disabled).
+  u16 metrics_port() const { return metrics_port_; }
 
   /// Run the event loop on the calling thread; returns after a graceful
   /// drain completes (request_stop() or a SHUTDOWN frame).
@@ -100,11 +112,15 @@ class Server {
   Stats stats() const;
   /// The STATS-op payload: stats + config as a JSON object.
   std::string stats_json() const;
+  /// The METRICS-op JSON payload: pfpl-metrics/1 envelope around the global
+  /// registry plus live stats and the slow-request ring.
+  std::string metrics_json() const;
 
  private:
   struct Impl;
   std::unique_ptr<Impl> impl_;
   u16 port_ = 0;
+  u16 metrics_port_ = 0;
 };
 
 }  // namespace repro::net

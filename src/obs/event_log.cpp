@@ -1,0 +1,118 @@
+#include "obs/event_log.hpp"
+
+#include <chrono>
+
+#include "common/types.hpp"
+#include "obs/json.hpp"
+
+namespace repro::obs {
+
+namespace {
+
+u64 steady_ns() {
+  return static_cast<u64>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                              std::chrono::steady_clock::now().time_since_epoch())
+                              .count());
+}
+
+u64 wall_ms() {
+  return static_cast<u64>(std::chrono::duration_cast<std::chrono::milliseconds>(
+                              std::chrono::system_clock::now().time_since_epoch())
+                              .count());
+}
+
+}  // namespace
+
+const char* to_string(LogLevel lvl) {
+  switch (lvl) {
+    case LogLevel::Debug: return "debug";
+    case LogLevel::Info: return "info";
+    case LogLevel::Warn: return "warn";
+    case LogLevel::Error: return "error";
+  }
+  return "?";
+}
+
+bool parse_log_level(const std::string& s, LogLevel& out) {
+  if (s == "debug") out = LogLevel::Debug;
+  else if (s == "info") out = LogLevel::Info;
+  else if (s == "warn") out = LogLevel::Warn;
+  else if (s == "error") out = LogLevel::Error;
+  else return false;
+  return true;
+}
+
+EventLog& EventLog::global() {
+  static EventLog* log = new EventLog();  // leaked: outlives all users
+  return *log;
+}
+
+EventLog::~EventLog() { close_file(); }
+
+void EventLog::close_file() {
+  if (file_) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+void EventLog::configure(const Options& o) {
+  std::lock_guard<std::mutex> lk(m_);
+  close_file();
+  if (!o.path.empty()) {
+    file_ = std::fopen(o.path.c_str(), "ab");
+    if (!file_)
+      throw CompressionError("obs: cannot open event log '" + o.path + "'");
+  }
+  level_.store(o.level, std::memory_order_relaxed);
+  rate_per_s_ = o.rate_per_s > 0 ? o.rate_per_s : 200.0;
+  tokens_ = 2.0 * rate_per_s_;
+  last_refill_ns_ = steady_ns();
+}
+
+bool EventLog::emit(LogLevel lvl, const std::string& event,
+                    const std::string& fields_json) {
+  if (!would_log(lvl)) return false;
+  std::lock_guard<std::mutex> lk(m_);
+  // Token bucket: refill by elapsed time, cap at a 2x-rate burst, spend one
+  // token per line. Drops are counted, not logged (that would defeat the
+  // point of the limiter).
+  const u64 now = steady_ns();
+  if (last_refill_ns_ == 0) last_refill_ns_ = now;
+  tokens_ += static_cast<double>(now - last_refill_ns_) / 1e9 * rate_per_s_;
+  if (tokens_ > 2.0 * rate_per_s_) tokens_ = 2.0 * rate_per_s_;
+  last_refill_ns_ = now;
+  if (tokens_ < 1.0) {
+    ++dropped_;
+    return false;
+  }
+  tokens_ -= 1.0;
+
+  JsonWriter w;
+  w.begin_object();
+  w.kv("ts_ms", static_cast<unsigned long long>(wall_ms()));
+  w.kv("level", to_string(lvl));
+  w.kv("event", event);
+  if (!fields_json.empty()) w.key("fields").raw(fields_json);
+  w.end_object();
+  std::string line = w.take();
+  line += '\n';
+
+  std::FILE* sink = file_ ? file_ : stderr;
+  std::fwrite(line.data(), 1, line.size(), sink);
+  std::fflush(sink);
+  ++emitted_;
+  return true;
+}
+
+u64 EventLog::emitted() const {
+  std::lock_guard<std::mutex> lk(m_);
+  return emitted_;
+}
+
+u64 EventLog::dropped() const {
+  std::lock_guard<std::mutex> lk(m_);
+  return dropped_;
+}
+
+}  // namespace repro::obs

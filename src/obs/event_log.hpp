@@ -1,0 +1,82 @@
+// EventLog — leveled, rate-limited, structured one-line-JSON event logging.
+//
+// Each emitted event is a single line:
+//
+//   {"ts_ms":1723190400123,"level":"warn","event":"slow_request","fields":{...}}
+//
+// so a server's event stream can be tailed, grepped by event name, or fed to
+// a log pipeline without a parser beyond "one JSON object per line". Events
+// below the configured level are dropped before any formatting; a token
+// bucket caps the emit rate (a misbehaving client must not be able to turn
+// the slow-request log into an I/O hot spot), and drops are counted rather
+// than logged. The sink is stderr by default or a file via configure().
+//
+// Unlike metrics/tracing this is NOT gated on obs::enabled() — a production
+// server wants its slow-request log even when span recording is off. The
+// cost when nothing is emitted is one level comparison.
+#pragma once
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace repro::obs {
+
+enum class LogLevel : u8 { Debug = 0, Info = 1, Warn = 2, Error = 3 };
+
+const char* to_string(LogLevel lvl);
+/// Parse "debug"/"info"/"warn"/"error"; returns false on unknown names.
+bool parse_log_level(const std::string& s, LogLevel& out);
+
+class EventLog {
+ public:
+  struct Options {
+    LogLevel level = LogLevel::Info;
+    std::string path;          ///< empty = stderr
+    double rate_per_s = 200.0; ///< token-bucket refill rate; burst = 2x rate
+  };
+
+  /// The process-wide log (stderr, Info, default rate until configured).
+  static EventLog& global();
+
+  EventLog() = default;
+  ~EventLog();
+  EventLog(const EventLog&) = delete;
+  EventLog& operator=(const EventLog&) = delete;
+
+  /// (Re)configure sink, level, and rate. Closes any previously opened file.
+  /// Throws CompressionError if `path` cannot be opened for append.
+  void configure(const Options& o);
+
+  /// True when an event at `lvl` would pass the level filter (cheap guard so
+  /// callers can skip building the fields string).
+  bool would_log(LogLevel lvl) const {
+    return lvl >= level_.load(std::memory_order_relaxed);
+  }
+
+  /// Emit one event. `fields_json`, when non-empty, must be a complete JSON
+  /// value (usually an object) and is attached under "fields". Returns true
+  /// if the line was written, false if filtered or rate-limited.
+  bool emit(LogLevel lvl, const std::string& event,
+            const std::string& fields_json = "");
+
+  u64 emitted() const;
+  u64 dropped() const;  ///< rate-limited only (level-filtered events don't count)
+
+ private:
+  void close_file();
+
+  mutable std::mutex m_;
+  std::atomic<LogLevel> level_{LogLevel::Info};
+  std::FILE* file_ = nullptr;  ///< nullptr = stderr
+  double rate_per_s_ = 200.0;
+  double tokens_ = 400.0;  ///< current bucket fill; burst capacity = 2x rate
+  u64 last_refill_ns_ = 0;
+  u64 emitted_ = 0;
+  u64 dropped_ = 0;
+};
+
+}  // namespace repro::obs

@@ -137,6 +137,22 @@ std::vector<std::string> MetricsRegistry::histogram_names() const {
   return names;
 }
 
+std::vector<std::string> MetricsRegistry::counter_names() const {
+  std::lock_guard<std::mutex> lk(m_);
+  std::vector<std::string> names;
+  names.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) names.push_back(name);
+  return names;
+}
+
+std::vector<std::string> MetricsRegistry::gauge_names() const {
+  std::lock_guard<std::mutex> lk(m_);
+  std::vector<std::string> names;
+  names.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) names.push_back(name);
+  return names;
+}
+
 void MetricsRegistry::reset() {
   std::lock_guard<std::mutex> lk(m_);
   for (auto& [name, c] : counters_) c->reset();

@@ -190,6 +190,9 @@ class MetricsRegistry {
   /// Snapshot of the registered histogram names (sorted). For exporters that
   /// want to walk histograms without parsing the JSON dump.
   std::vector<std::string> histogram_names() const;
+  /// Same, for counters and gauges (the Prometheus exporter walks all three).
+  std::vector<std::string> counter_names() const;
+  std::vector<std::string> gauge_names() const;
 
   /// Zero every metric (keeps registrations and references valid).
   void reset();

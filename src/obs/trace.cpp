@@ -81,6 +81,11 @@ std::string TraceRecorder::chrome_json() const {
     w.kv("dur", static_cast<double>(e.dur_ns) / 1e3);
     w.kv("pid", 1);
     w.kv("tid", static_cast<unsigned long long>(e.tid));
+    if (e.request_id != 0) {
+      w.key("args").begin_object();
+      w.kv("request_id", static_cast<unsigned long long>(e.request_id));
+      w.end_object();
+    }
     w.end_object();
   }
   w.end_array();
@@ -144,6 +149,7 @@ void ScopedSpan::begin(const char* name) {
   buf_ = &r.thread_buf();
   name_ = name;
   depth_ = buf_->depth++;
+  request_id_ = TraceContext::current();
   start_ns_ = r.now_ns();
 }
 
@@ -151,7 +157,8 @@ void ScopedSpan::end() {
   const u64 dur = TraceRecorder::global().now_ns() - start_ns_;
   --buf_->depth;
   std::lock_guard<std::mutex> lk(buf_->m);
-  buf_->events.push_back(SpanEvent{name_, start_ns_, dur, buf_->tid, depth_});
+  buf_->events.push_back(
+      SpanEvent{name_, start_ns_, dur, buf_->tid, depth_, request_id_});
 }
 
 }  // namespace repro::obs

@@ -36,6 +36,38 @@ struct SpanEvent {
   u64 dur_ns = 0;
   u32 tid = 0;   ///< recorder-assigned small id, stable per thread
   u32 depth = 0; ///< nesting depth at span start (0 = top level)
+  u64 request_id = 0;  ///< TraceContext id active at span start (0 = none)
+};
+
+/// Request-scoped trace context: a per-thread id (the PFPN request_id on the
+/// server path) that every span started while a Scope is live is tagged with,
+/// so one request's spans can be pulled out of a merged multi-thread trace.
+/// The id is an ordinary thread-local — installing a Scope is a store and a
+/// restore, with no allocation or recording, so it is safe to install even
+/// when observability is disabled.
+class TraceContext {
+ public:
+  /// The calling thread's current request id (0 when outside any Scope).
+  static u64 current() { return tl_id(); }
+
+  /// RAII installer: sets the thread's id for the lifetime of the Scope and
+  /// restores the previous value on destruction (scopes nest).
+  class Scope {
+   public:
+    explicit Scope(u64 request_id) : prev_(tl_id()) { tl_id() = request_id; }
+    ~Scope() { tl_id() = prev_; }
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    u64 prev_;
+  };
+
+ private:
+  static u64& tl_id() {
+    static thread_local u64 id = 0;
+    return id;
+  }
 };
 
 class TraceRecorder {
@@ -110,6 +142,7 @@ class ScopedSpan {
   TraceRecorder::ThreadBuf* buf_ = nullptr;
   u64 start_ns_ = 0;
   u32 depth_ = 0;
+  u64 request_id_ = 0;
 };
 
 #define OBS_SPAN_CONCAT2(a, b) a##b

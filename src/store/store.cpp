@@ -5,6 +5,7 @@
 
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace repro::store {
 namespace {
@@ -68,6 +69,7 @@ ChunkStore::ChunkStore(const Options& opts) : cache_(opts.cache) {
 }
 
 bool ChunkStore::get(const common::Hash128& key, Bytes& out) {
+  OBS_SPAN("store.get");
   const u64 t0 = now_us();
   bool hit = cache_.get(key, out);
   if (!hit && log_ && log_->get(key, out)) {
@@ -80,6 +82,7 @@ bool ChunkStore::get(const common::Hash128& key, Bytes& out) {
 
 void ChunkStore::put(const common::Hash128& key, const Bytes& payload,
                      const ChunkMeta& meta) {
+  OBS_SPAN("store.put");
   const u64 t0 = now_us();
   cache_.put(key, payload);
   if (log_) log_->put(key, payload, meta);

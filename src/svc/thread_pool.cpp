@@ -41,7 +41,9 @@ ThreadPool::ThreadPool(unsigned threads, std::size_t queue_capacity)
 ThreadPool::~ThreadPool() { shutdown(); }
 
 void ThreadPool::enqueue(std::function<void()> f) {
-  Task t{std::move(f), obs::enabled() ? obs::TraceRecorder::global().now_ns() : 0};
+  const bool obs_on = obs::enabled();
+  Task t{std::move(f), obs_on ? obs::TraceRecorder::global().now_ns() : 0,
+         obs_on ? obs::TraceContext::current() : 0};
   std::unique_lock<std::mutex> lk(state_m_);
   space_cv_.wait(lk, [&] { return stopping_ || draining_ || pending_ < capacity_; });
   if (stopping_) throw CompressionError("svc::ThreadPool: submit after shutdown");
@@ -127,7 +129,16 @@ void ThreadPool::worker_loop(unsigned self) {
       if (task.enqueue_ns && run_t0 >= task.enqueue_ns)
         PoolMetrics::get().task_wait_us.record((run_t0 - task.enqueue_ns) / 1000);
     }
-    task.fn();
+    if (run_t0) {
+      // Re-install the submitter's trace context for the task's duration so
+      // every span it opens (and the task span itself) is tagged with the
+      // originating request id.
+      obs::TraceContext::Scope ctx(task.trace_ctx);
+      obs::ScopedSpan span("svc.pool.task");
+      task.fn();
+    } else {
+      task.fn();
+    }
     if (run_t0)
       PoolMetrics::get().task_run_us.record(
           (obs::TraceRecorder::global().now_ns() - run_t0) / 1000);

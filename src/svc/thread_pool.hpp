@@ -89,10 +89,13 @@ class ThreadPool {
   /// A queued closure plus its enqueue timestamp (ns on the obs trace clock;
   /// 0 when observability is disabled). The timestamp is what turns into the
   /// svc.pool.task_wait_us histogram — time spent queued before a worker
-  /// picked the task up, the service's scheduling-delay signal.
+  /// picked the task up, the service's scheduling-delay signal. `trace_ctx`
+  /// carries the submitter's obs::TraceContext id across the queue so spans
+  /// recorded while the task runs are tagged with the originating request.
   struct Task {
     std::function<void()> fn;
     u64 enqueue_ns = 0;
+    u64 trace_ctx = 0;
   };
 
   struct Worker {

@@ -5,6 +5,8 @@
 // error frames, backpressure caps, graceful drain, and client retry.
 #include <gtest/gtest.h>
 
+#include <sys/socket.h>
+
 #include <atomic>
 #include <chrono>
 #include <cmath>
@@ -12,6 +14,8 @@
 #include <cstring>
 #include <future>
 #include <memory>
+#include <set>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -22,6 +26,10 @@
 #include "net/frame.hpp"
 #include "net/server.hpp"
 #include "net/socket.hpp"
+#include "obs/control.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "store/store.hpp"
 #include "svc/thread_pool.hpp"
 
@@ -624,6 +632,256 @@ TEST(NetLoopback, ClientRetriesOnceAfterServerRestart) {
   // The old connection is dead; the client must reconnect + retry once.
   client.ping();
   EXPECT_EQ(client.reconnects(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Live introspection: request-scoped tracing, the METRICS op, the HTTP
+// scrape listener, slow-request capture, and client request-id hygiene.
+
+namespace {
+
+/// Save/restore the global observability switch (same idiom as test_obs).
+struct ObsGuard {
+  explicit ObsGuard(bool on) : prev(obs::enabled()) { obs::set_enabled(on); }
+  ~ObsGuard() { obs::set_enabled(prev); }
+  bool prev;
+};
+
+/// Minimal HTTP/1.0-style GET against the server's metrics listener: one
+/// request, read to EOF (the server answers Connection: close).
+std::string http_get(u16 port, const std::string& path) {
+  net::Socket sock = net::tcp_connect("127.0.0.1", port, 5000);
+  const std::string req = "GET " + path + " HTTP/1.1\r\nHost: x\r\n\r\n";
+  net::send_all(sock.fd(), req.data(), req.size(), 5000);
+  std::string out;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(sock.fd(), buf, sizeof buf, 0);
+    if (n <= 0) break;
+    out.append(buf, static_cast<std::size_t>(n));
+  }
+  return out;
+}
+
+/// Parse a Prometheus text document: every "# TYPE" family must be unique
+/// and every sample line's value must parse as a number. Returns the sample
+/// value for `name` (exact match before the space), or -1 if absent.
+double check_prom_text(const std::string& text, const std::string& name) {
+  std::set<std::string> families;
+  double found = -1;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (line.rfind("# TYPE ", 0) == 0) {
+      const std::string fam = line.substr(7, line.find(' ', 7) - 7);
+      EXPECT_TRUE(families.insert(fam).second) << "duplicate family " << fam;
+      continue;
+    }
+    if (line[0] == '#') continue;
+    const std::size_t sp = line.rfind(' ');
+    if (sp == std::string::npos) {
+      ADD_FAILURE() << "sample line without a value: " << line;
+      continue;
+    }
+    double v = 0;
+    try {
+      v = std::stod(line.substr(sp + 1));
+    } catch (const std::exception&) {
+      ADD_FAILURE() << "sample value does not parse: " << line;
+      continue;
+    }
+    if (line.compare(0, sp, name) == 0) found = v;
+  }
+  return found;
+}
+
+}  // namespace
+
+// Acceptance criterion: a single request's timeline is reconstructible from
+// the Chrome trace — net (loop thread), svc (pool worker), and core
+// (compressor) spans all carry the client's request_id.
+TEST(NetIntrospection, RequestScopedTraceSharesRequestId) {
+  ObsGuard guard(true);
+  auto& rec = obs::TraceRecorder::global();
+  rec.clear();
+  u64 id = 0;
+  {
+    TestServer ts;
+    net::Client client(ts.client_options());
+    const std::vector<float> data = make_f32(2048);
+    client.compress(data.data(), data.size() * 4, DType::F32, EbType::ABS, 1e-3);
+    id = client.last_request_id();
+  }
+  ASSERT_NE(id, 0u);
+
+  // Read the ids back out of the Chrome JSON itself — the artifact an
+  // operator loads — not out of internal recorder state. (Ids are compared
+  // as doubles because that is what a JSON reader sees; both sides round
+  // the same 64-bit integer the same way.)
+  obs::JsonValue doc = obs::parse_json(rec.chrome_json());
+  std::set<std::string> with_id;
+  for (const obs::JsonValue& ev : doc.at("traceEvents").arr) {
+    if (!ev.has("args") || !ev.at("args").has("request_id")) continue;
+    if (ev.at("args").at("request_id").num == static_cast<double>(id))
+      with_id.insert(ev.at("name").str);
+  }
+  EXPECT_TRUE(with_id.count("net.handle_frame")) << rec.text_tree();
+  EXPECT_TRUE(with_id.count("net.work.compress")) << rec.text_tree();
+  EXPECT_TRUE(with_id.count("svc.pool.task")) << rec.text_tree();
+  EXPECT_TRUE(with_id.count("pfpl.compress")) << rec.text_tree();
+  rec.clear();
+}
+
+// Acceptance criterion: `pfpl remote metrics` (the METRICS op) and the HTTP
+// GET /metrics listener return consistent counters, in both formats.
+TEST(NetIntrospection, MetricsOpJsonPromAndHttpConsistent) {
+  ObsGuard guard(true);
+  net::Server::Options opts;
+  opts.metrics_port = 0;  // ephemeral HTTP listener on the same loop
+  TestServer ts(opts);
+  ASSERT_NE(ts.server.metrics_port(), 0);
+  net::Client client(ts.client_options());
+  const std::vector<float> data = make_f32(1024);
+  client.compress(data.data(), data.size() * 4, DType::F32, EbType::ABS, 1e-3);
+
+  obs::JsonValue doc = obs::parse_json(client.metrics(false));
+  EXPECT_EQ(doc.at("schema").str, "pfpl-metrics/1");
+  ASSERT_TRUE(doc.has("metrics"));
+  ASSERT_TRUE(doc.has("stats"));
+  ASSERT_TRUE(doc.has("slow_requests"));
+  EXPECT_GE(doc.at("stats").at("requests_compress").num, 1.0);
+  const double json_requests =
+      doc.at("metrics").at("counters").at("net.requests").num;
+
+  // net.requests counts only pooled ops, so scrapes between the reads can't
+  // perturb the comparison.
+  const double prom_requests =
+      check_prom_text(client.metrics(true), "pfpl_net_requests_total");
+  EXPECT_EQ(prom_requests, json_requests);
+
+  const std::string http = http_get(ts.server.metrics_port(), "/metrics");
+  EXPECT_NE(http.find("HTTP/1.1 200"), std::string::npos) << http.substr(0, 120);
+  EXPECT_NE(http.find("text/plain; version=0.0.4"), std::string::npos);
+  const std::size_t body_at = http.find("\r\n\r\n");
+  ASSERT_NE(body_at, std::string::npos);
+  const double http_requests =
+      check_prom_text(http.substr(body_at + 4), "pfpl_net_requests_total");
+  EXPECT_EQ(http_requests, json_requests);
+
+  // The JSON variant and the stats page serve over HTTP too.
+  const std::string hj = http_get(ts.server.metrics_port(), "/metrics.json");
+  EXPECT_NE(hj.find("application/json"), std::string::npos);
+  EXPECT_NE(hj.find("pfpl-metrics/1"), std::string::npos);
+  EXPECT_NE(http_get(ts.server.metrics_port(), "/nope").find("404"),
+            std::string::npos);
+
+  ts.stop();
+  EXPECT_GE(ts.server.stats().metrics_scrapes, 4u);  // 2 op + 2 HTTP /metrics*
+}
+
+// Satellite: scraping under concurrent traffic always yields a parseable
+// document, and the counters in it never go backwards.
+TEST(NetIntrospection, ConcurrentScrapesSeeMonotonicCounters) {
+  ObsGuard guard(true);
+  TestServer ts;
+  std::atomic<bool> stop{false};
+  std::thread traffic([&] {
+    net::Client c(ts.client_options());
+    const std::vector<float> data = make_f32(512);
+    while (!stop.load(std::memory_order_relaxed))
+      c.compress(data.data(), data.size() * 4, DType::F32, EbType::ABS, 1e-2);
+  });
+  net::Client scraper(ts.client_options());
+  double last_frames = 0, last_requests = 0;
+  for (int i = 0; i < 20; ++i) {
+    obs::JsonValue doc = obs::parse_json(scraper.metrics(false));
+    const double frames = doc.at("stats").at("frames_rx").num;
+    const double requests = doc.at("stats").at("requests_compress").num;
+    EXPECT_GE(frames, last_frames);
+    EXPECT_GE(requests, last_requests);
+    last_frames = frames;
+    last_requests = requests;
+  }
+  stop.store(true);
+  traffic.join();
+  EXPECT_GT(last_frames, 0.0);
+}
+
+// Satellite: with observability disabled the scrape still serves a valid
+// (possibly empty) document, the always-live stats block still moves, and
+// the obs-gated histograms record nothing.
+TEST(NetIntrospection, DisabledObservabilityScrapeValidAndRecordsNothing) {
+  ObsGuard guard(false);
+  obs::Histogram& request_us =
+      obs::MetricsRegistry::global().histogram("net.request_us");
+  const u64 before = request_us.count();
+  TestServer ts;
+  net::Client client(ts.client_options());
+  const std::vector<float> data = make_f32(1024);
+  client.compress(data.data(), data.size() * 4, DType::F32, EbType::ABS, 1e-3);
+
+  obs::JsonValue doc = obs::parse_json(client.metrics(false));
+  EXPECT_EQ(doc.at("schema").str, "pfpl-metrics/1");
+  ASSERT_TRUE(doc.at("metrics").is_object());  // valid-but-idle registry dump
+  EXPECT_GE(doc.at("stats").at("requests_compress").num, 1.0);
+  check_prom_text(client.metrics(true), "");  // prom variant stays well-formed
+  EXPECT_EQ(request_us.count(), before);  // zero recording while disabled
+}
+
+// Tentpole: requests over --slow-ms land in the slow ring with their
+// request_id and per-stage micros, visible through STATS.
+TEST(NetIntrospection, SlowRequestCaptureRingInStats) {
+  net::Server::Options opts;
+  opts.slow_ms = 1;
+  ::setenv("PFPL_NET_TEST_SLOW_US", "5000", 1);
+  TestServer ts(opts);
+  net::Client client(ts.client_options());
+  const std::vector<float> data = make_f32(1024);
+  client.compress(data.data(), data.size() * 4, DType::F32, EbType::ABS, 1e-3);
+  const u64 id = client.last_request_id();
+  ::unsetenv("PFPL_NET_TEST_SLOW_US");
+
+  obs::JsonValue doc = obs::parse_json(client.stats());
+  EXPECT_GE(doc.at("slow_requests_captured").num, 1.0);
+  ASSERT_FALSE(doc.at("slow_requests").arr.empty());
+  const obs::JsonValue& worst = doc.at("slow_requests").arr[0];
+  EXPECT_EQ(worst.at("op").str, "COMPRESS");
+  EXPECT_GE(worst.at("total_us").num, 5000.0);
+  EXPECT_EQ(worst.at("request_id").num, static_cast<double>(id));
+  EXPECT_GE(worst.at("work_us").num, 5000.0);  // the injected sleep is work
+}
+
+// Satellite: ids are unique per client instance (seeded counter), distinct
+// across instances, and quoted in RemoteError text for correlation.
+TEST(NetIntrospection, ClientRequestIdsUniqueAndQuotedInErrors) {
+  TestServer ts;
+  const std::vector<float> data = make_f32(64);
+  auto fail_id = [&](net::Client& c) -> std::pair<u64, std::string> {
+    try {
+      // eps < 0 is rejected by the compressor: deterministic RemoteError.
+      c.compress(data.data(), data.size() * 4, DType::F32, EbType::ABS, -1.0);
+    } catch (const net::RemoteError& e) {
+      return {c.last_request_id(), e.what()};
+    }
+    return {0, "no error raised"};
+  };
+  net::Client a(ts.client_options());
+  net::Client b(ts.client_options());
+  const auto [id_a, what_a] = fail_id(a);
+  const auto [id_b, what_b] = fail_id(b);
+  ASSERT_NE(id_a, 0u);
+  ASSERT_NE(id_b, 0u);
+  EXPECT_NE(id_a, id_b);  // per-instance seeding: disjoint ranges
+  EXPECT_NE(what_a.find("(request_id " + std::to_string(id_a) + ")"),
+            std::string::npos)
+      << what_a;
+  EXPECT_NE(what_b.find("(request_id " + std::to_string(id_b) + ")"),
+            std::string::npos)
+      << what_b;
+  const auto [id_a2, what_a2] = fail_id(a);
+  (void)what_a2;
+  EXPECT_NE(id_a2, id_a);  // consecutive ids from one client differ too
 }
 
 }  // namespace

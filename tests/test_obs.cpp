@@ -6,14 +6,20 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdio>
+#include <fstream>
 #include <future>
 #include <random>
 #include <set>
+#include <sstream>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "common/timer.hpp"
 #include "obs/control.hpp"
+#include "obs/event_log.hpp"
+#include "obs/exposition.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
 #include "obs/report.hpp"
@@ -384,6 +390,156 @@ TEST(ObsThreadPool, CountersConsistentAfterRandomizedBurst) {
   pool.shutdown();
   // Counters are stable after shutdown.
   EXPECT_EQ(pool.counters().executed, c.executed);
+}
+
+// ------------------------------------------------ request-scoped tracing ---
+
+TEST(ObsTraceContext, NestsAndRestores) {
+  EXPECT_EQ(obs::TraceContext::current(), 0u);
+  {
+    obs::TraceContext::Scope outer(7);
+    EXPECT_EQ(obs::TraceContext::current(), 7u);
+    {
+      obs::TraceContext::Scope inner(9);
+      EXPECT_EQ(obs::TraceContext::current(), 9u);
+    }
+    EXPECT_EQ(obs::TraceContext::current(), 7u);
+  }
+  EXPECT_EQ(obs::TraceContext::current(), 0u);
+}
+
+TEST(ObsTraceContext, SpanCarriesRequestIdIntoChromeArgs) {
+  ObsGuard guard(true);
+  auto& rec = obs::TraceRecorder::global();
+  rec.clear();
+  {
+    obs::TraceContext::Scope ctx(4242);
+    OBS_SPAN("ctx_span");
+  }
+  { OBS_SPAN("no_ctx_span"); }
+
+  std::vector<obs::SpanEvent> evs = rec.events();
+  ASSERT_EQ(evs.size(), 2u);
+  for (const obs::SpanEvent& e : evs)
+    EXPECT_EQ(e.request_id, e.name == "ctx_span" ? 4242u : 0u) << e.name;
+
+  obs::JsonValue doc = obs::parse_json(rec.chrome_json());
+  for (const obs::JsonValue& ev : doc.at("traceEvents").arr) {
+    if (ev.at("name").str == "ctx_span") {
+      ASSERT_TRUE(ev.has("args"));
+      EXPECT_DOUBLE_EQ(ev.at("args").at("request_id").num, 4242);
+    } else {
+      // Context-free spans carry no args at all — id 0 means "no context"
+      // and is never emitted.
+      EXPECT_FALSE(ev.has("args")) << ev.at("name").str;
+    }
+  }
+  rec.clear();
+}
+
+// ---------------------------------------------------- metrics exposition ---
+
+TEST(ObsExposition, PrometheusFamilyMangling) {
+  EXPECT_EQ(obs::prometheus_family("net.request_us"), "pfpl_net_request_us");
+  EXPECT_EQ(obs::prometheus_family("Svc.Pool-Depth"), "pfpl_svc_pool_depth");
+}
+
+TEST(ObsExposition, PrometheusTextWellFormed) {
+  ObsGuard guard(true);
+  auto& reg = obs::MetricsRegistry::global();
+  reg.counter("expo.test.count").add(3);
+  reg.gauge("expo.test.depth").set(5);
+  obs::Histogram& h = reg.histogram("expo.test_us", {10, 100});
+  h.record(5);
+  h.record(50);
+  h.record(500);
+
+  const std::string text = obs::prometheus_text();
+  // No duplicate TYPE families, and every sample line's value is a number.
+  std::set<std::string> families;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (line.rfind("# TYPE ", 0) == 0) {
+      const std::string fam = line.substr(7, line.find(' ', 7) - 7);
+      EXPECT_TRUE(families.insert(fam).second) << "duplicate family " << fam;
+      continue;
+    }
+    if (line[0] == '#') continue;
+    const std::size_t sp = line.rfind(' ');
+    ASSERT_NE(sp, std::string::npos) << line;
+    EXPECT_NO_THROW((void)std::stod(line.substr(sp + 1))) << line;
+  }
+  // Counters get the _total suffix; gauges a _peak companion.
+  EXPECT_NE(text.find("pfpl_expo_test_count_total 3"), std::string::npos);
+  EXPECT_NE(text.find("pfpl_expo_test_depth 5"), std::string::npos);
+  EXPECT_NE(text.find("pfpl_expo_test_depth_peak 5"), std::string::npos);
+  // Histograms are cumulative with a +Inf bucket equal to _count.
+  EXPECT_NE(text.find("pfpl_expo_test_us_bucket{le=\"10\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("pfpl_expo_test_us_bucket{le=\"100\"} 2"), std::string::npos);
+  EXPECT_NE(text.find("pfpl_expo_test_us_bucket{le=\"+Inf\"} 3"), std::string::npos);
+  EXPECT_NE(text.find("pfpl_expo_test_us_count 3"), std::string::npos);
+  EXPECT_NE(text.find("pfpl_expo_test_us_sum 555"), std::string::npos);
+}
+
+TEST(ObsExposition, MetricsJsonDocParsesWithExtras) {
+  const std::string doc = obs::metrics_json_doc("\"extra\":{\"x\":1}");
+  obs::JsonValue v = obs::parse_json(doc);
+  EXPECT_EQ(v.at("schema").str, "pfpl-metrics/1");
+  ASSERT_TRUE(v.at("metrics").is_object());
+  EXPECT_TRUE(v.at("metrics").has("counters"));
+  EXPECT_DOUBLE_EQ(v.at("extra").at("x").num, 1);
+  // And without extras the document is still a valid close.
+  obs::JsonValue bare = obs::parse_json(obs::metrics_json_doc());
+  EXPECT_TRUE(bare.has("metrics"));
+}
+
+// ------------------------------------------------------------ event log ----
+
+TEST(ObsEventLog, LevelNamesRoundTrip) {
+  obs::LogLevel lvl = obs::LogLevel::Info;
+  EXPECT_TRUE(obs::parse_log_level("warn", lvl));
+  EXPECT_EQ(lvl, obs::LogLevel::Warn);
+  EXPECT_STREQ(obs::to_string(obs::LogLevel::Error), "error");
+  EXPECT_FALSE(obs::parse_log_level("loud", lvl));
+}
+
+TEST(ObsEventLog, LevelFilterRateLimitAndParseableLines) {
+  const std::string path = ::testing::TempDir() + "pfpl_event_log_test.jsonl";
+  std::remove(path.c_str());
+  obs::EventLog log;
+  obs::EventLog::Options o;
+  o.path = path;
+  o.level = obs::LogLevel::Info;
+  o.rate_per_s = 2.0;  // burst capacity = 4 lines
+  log.configure(o);
+
+  EXPECT_FALSE(log.would_log(obs::LogLevel::Debug));
+  EXPECT_FALSE(log.emit(obs::LogLevel::Debug, "filtered"));
+  u64 written = 0;
+  for (int i = 0; i < 10; ++i)
+    if (log.emit(obs::LogLevel::Warn, "evt", "{\"i\":" + std::to_string(i) + "}"))
+      ++written;
+  EXPECT_EQ(written, 4u);  // token bucket: 2/s rate, 2x burst
+  EXPECT_EQ(log.emitted(), written);
+  EXPECT_EQ(log.dropped(), 10u - written);
+
+  // Every line on disk is one parseable JSON object with the envelope keys.
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  u64 lines = 0;
+  while (std::getline(in, line)) {
+    obs::JsonValue v = obs::parse_json(line);
+    EXPECT_TRUE(v.has("ts_ms"));
+    EXPECT_EQ(v.at("level").str, "warn");
+    EXPECT_EQ(v.at("event").str, "evt");
+    EXPECT_DOUBLE_EQ(v.at("fields").at("i").num, static_cast<double>(lines));
+    ++lines;
+  }
+  EXPECT_EQ(lines, written);
+  std::remove(path.c_str());
 }
 
 TEST(ObsThreadPool, WaitAndRunHistogramsPopulateWhenEnabled) {
