@@ -18,6 +18,7 @@
 //
 // Exit codes: 0 ok, 1 byte mismatch / verify failure / speedup below
 // --min-speedup, 3 failed --gate.
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
@@ -107,13 +108,27 @@ double run_pass(const StoreCfg& cfg, store::ChunkStore& cs,
   return now_s() - t0;
 }
 
-bench::Row make_row(const char* name, double eb, double seconds, u64 raw_bytes,
-                    u64 comp_bytes) {
+double median(std::vector<double> v) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  return v[v.size() / 2];
+}
+
+/// Store rows are one-directional request throughput: no decompression pass,
+/// PSNR, or violation count exists, so those columns are skipped instead of
+/// recorded as zeros.
+bench::Row make_row(const char* name, double eb, const std::vector<double>& rep_secs,
+                    u64 raw_bytes, u64 comp_bytes) {
   bench::Row row;
   row.compressor = name;
   row.eb = eb;
   row.ratio = comp_bytes ? static_cast<double>(raw_bytes) / comp_bytes : 0.0;
-  row.comp_mbps = seconds > 0 ? raw_bytes / (1024.0 * 1024.0) / seconds : 0.0;
+  const double mb = raw_bytes / (1024.0 * 1024.0);
+  for (double s : rep_secs)
+    if (s > 0) row.comp_run_mbps.push_back(mb / s);
+  const double med = median(rep_secs);
+  row.comp_mbps = med > 0 ? mb / med : 0.0;
+  row.has_decomp = row.has_psnr = row.has_violations = false;
   return row;
 }
 
@@ -122,7 +137,6 @@ bench::Row make_row(const char* name, double eb, double seconds, u64 raw_bytes,
 int main(int argc, char** argv) {
   bench::SweepConfig base;
   bench::SweepConfig sweep = bench::parse_args(argc, argv, base);
-  (void)sweep;
   const StoreCfg cfg = parse_store_flags(argc, argv);
   obs::set_enabled(true);
 
@@ -144,44 +158,61 @@ int main(int argc, char** argv) {
   int mismatches = 0;
   std::vector<bench::Row> rows;
 
+  // Repetition count: median + MAD need ≥3 samples for the baseline gate to
+  // have a real noise floor (--runs raises it further). Each rep uses its own
+  // store directory so every cold pass is genuinely cold.
+  const int reps = std::max(3, sweep.runs);
+
   // ---- cold / warm / reopen over a persistent store --------------------
-  std::vector<Bytes> cold_streams, warm_streams, reopen_streams;
-  double cold_s = 0, warm_s = 0, reopen_s = 0;
+  std::vector<double> cold_times, warm_times, reopen_times;
   u64 raw_bytes = 0, comp_bytes = 0;
-  {
-    store::ChunkStore::Options so;
-    so.dir = dir.string();
-    store::ChunkStore cs(so);
-    cold_s = run_pass(cfg, cs, fields, &cold_streams, &raw_bytes, &comp_bytes);
-    warm_s = run_pass(cfg, cs, fields, &warm_streams, nullptr, nullptr);
-    cs.sync();
-  }
-  {
-    // Fresh process-equivalent: empty cache, everything served off the log.
-    store::ChunkStore::Options so;
-    so.dir = dir.string();
-    store::ChunkStore cs(so);
-    reopen_s = run_pass(cfg, cs, fields, &reopen_streams, nullptr, nullptr);
-    const store::SegmentStore::VerifyReport rep = cs.log()->verify();
-    if (!rep.ok()) {
-      std::fprintf(stderr, "bench_store: verify FAILED: %zu corrupt frame(s)\n",
-                   rep.corrupt_frames);
-      ++mismatches;
+  for (int rep = 0; rep < reps; ++rep) {
+    const fs::path rep_dir = dir / ("r" + std::to_string(rep));
+    std::vector<Bytes> cold_streams, warm_streams, reopen_streams;
+    u64 rb = 0, cb = 0;
+    {
+      store::ChunkStore::Options so;
+      so.dir = rep_dir.string();
+      store::ChunkStore cs(so);
+      cold_times.push_back(run_pass(cfg, cs, fields, &cold_streams, &rb, &cb));
+      warm_times.push_back(run_pass(cfg, cs, fields, &warm_streams, nullptr, nullptr));
+      cs.sync();
+    }
+    {
+      // Fresh process-equivalent: empty cache, everything served off the log.
+      store::ChunkStore::Options so;
+      so.dir = rep_dir.string();
+      store::ChunkStore cs(so);
+      reopen_times.push_back(run_pass(cfg, cs, fields, &reopen_streams, nullptr, nullptr));
+      const store::SegmentStore::VerifyReport rep_v = cs.log()->verify();
+      if (!rep_v.ok()) {
+        std::fprintf(stderr, "bench_store: verify FAILED: %zu corrupt frame(s)\n",
+                     rep_v.corrupt_frames);
+        ++mismatches;
+      }
+    }
+    if (rep == 0) {
+      // Byte-identity is deterministic: checking the first rep proves all.
+      raw_bytes = rb;
+      comp_bytes = cb;
+      for (unsigned c = 0; c < cfg.chunks; ++c) {
+        if (warm_streams[c] != cold_streams[c]) {
+          std::fprintf(stderr, "bench_store: chunk %u: warm stream differs from cold\n", c);
+          ++mismatches;
+        }
+        if (reopen_streams[c] != cold_streams[c]) {
+          std::fprintf(stderr, "bench_store: chunk %u: reopen stream differs from cold\n",
+                       c);
+          ++mismatches;
+        }
+      }
     }
   }
-  for (unsigned c = 0; c < cfg.chunks; ++c) {
-    if (warm_streams[c] != cold_streams[c]) {
-      std::fprintf(stderr, "bench_store: chunk %u: warm stream differs from cold\n", c);
-      ++mismatches;
-    }
-    if (reopen_streams[c] != cold_streams[c]) {
-      std::fprintf(stderr, "bench_store: chunk %u: reopen stream differs from cold\n", c);
-      ++mismatches;
-    }
-  }
-  rows.push_back(make_row("PFPS_cold", 0, cold_s, raw_bytes, comp_bytes));
-  rows.push_back(make_row("PFPS_warm", 0, warm_s, raw_bytes, comp_bytes));
-  rows.push_back(make_row("PFPS_reopen", 0, reopen_s, raw_bytes, comp_bytes));
+  const double cold_s = median(cold_times), warm_s = median(warm_times),
+               reopen_s = median(reopen_times);
+  rows.push_back(make_row("PFPS_cold", 0, cold_times, raw_bytes, comp_bytes));
+  rows.push_back(make_row("PFPS_warm", 0, warm_times, raw_bytes, comp_bytes));
+  rows.push_back(make_row("PFPS_reopen", 0, reopen_times, raw_bytes, comp_bytes));
 
   const double speedup = cold_s > 0 && warm_s > 0 ? cold_s / warm_s : 0.0;
   std::fprintf(stderr,
@@ -200,34 +231,45 @@ int main(int argc, char** argv) {
   // effective throughput rises with the duplicate fraction because those
   // requests skip the compressor entirely.
   for (double dup : {0.0, 0.5, 1.0}) {
-    store::ChunkStore cs(store::ChunkStore::Options{});
+    std::vector<double> dup_times;
     u64 dr = 0, dc = 0;
-    const double t0 = now_s();
-    for (unsigned c = 0; c < cfg.chunks; ++c) {
-      const bool is_dup =
-          static_cast<double>((c * 104729u) % 1000) < dup * 1000.0;
-      const std::vector<float>& f = fields[is_dup ? 0 : c];
-      const std::size_t raw_n = f.size() * sizeof(float);
-      const common::Hash128 key =
-          store::compress_key(f.data(), raw_n, DType::F32, EbType::ABS, kEps);
-      Bytes stream;
-      if (!cs.get(key, stream)) {
-        pfpl::Params params;
-        params.eps = kEps;
-        stream = pfpl::compress(Field(f.data(), f.size()), params);
-        cs.put(key, stream, store::ChunkMeta{DType::F32, EbType::ABS, kEps, raw_n});
+    u64 hits = 0, misses = 0;
+    for (int rep = 0; rep < reps; ++rep) {
+      store::ChunkStore cs(store::ChunkStore::Options{});  // fresh per rep
+      u64 rep_dr = 0, rep_dc = 0;
+      const double t0 = now_s();
+      for (unsigned c = 0; c < cfg.chunks; ++c) {
+        const bool is_dup =
+            static_cast<double>((c * 104729u) % 1000) < dup * 1000.0;
+        const std::vector<float>& f = fields[is_dup ? 0 : c];
+        const std::size_t raw_n = f.size() * sizeof(float);
+        const common::Hash128 key =
+            store::compress_key(f.data(), raw_n, DType::F32, EbType::ABS, kEps);
+        Bytes stream;
+        if (!cs.get(key, stream)) {
+          pfpl::Params params;
+          params.eps = kEps;
+          stream = pfpl::compress(Field(f.data(), f.size()), params);
+          cs.put(key, stream, store::ChunkMeta{DType::F32, EbType::ABS, kEps, raw_n});
+        }
+        rep_dr += raw_n;
+        rep_dc += stream.size();
       }
-      dr += raw_n;
-      dc += stream.size();
+      dup_times.push_back(now_s() - t0);
+      if (rep == 0) {
+        dr = rep_dr;
+        dc = rep_dc;
+        const store::ResultCache::Stats st = cs.cache().stats();
+        hits = st.hits;
+        misses = st.misses;
+      }
     }
-    const double secs = now_s() - t0;
-    rows.push_back(make_row("PFPS_dup", dup, secs, dr, dc));
-    const store::ResultCache::Stats st = cs.cache().stats();
+    rows.push_back(make_row("PFPS_dup", dup, dup_times, dr, dc));
     std::fprintf(stderr,
                  "bench_store: dup %.1f: %.1f MB/s, cache %llu hits / %llu misses\n",
                  dup, rows.back().comp_mbps,
-                 static_cast<unsigned long long>(st.hits),
-                 static_cast<unsigned long long>(st.misses));
+                 static_cast<unsigned long long>(hits),
+                 static_cast<unsigned long long>(misses));
   }
 
   bench::print_rows("Store", rows);

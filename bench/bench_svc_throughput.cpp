@@ -28,6 +28,8 @@
 #include "common/timer.hpp"
 #include "core/pfpl.hpp"
 #include "data/synthetic.hpp"
+#include "obs/flight.hpp"
+#include "obs/kernels.hpp"
 #include "obs/metrics.hpp"
 #include "obs/report.hpp"
 #include "obs/trace.hpp"
@@ -116,10 +118,26 @@ int main(int argc, char** argv) {
 
     obs::set_enabled(false);
     obs::TraceRecorder::global().clear();
+    obs::MetricsRegistry::global().reset();
     svc::BatchCompressor off_batch({.threads = 4});
     double off_ms = median_batch_ms(off_batch, jobs, 5, &scratch);
     if (obs::TraceRecorder::global().event_count() != 0) {
       std::fprintf(stderr, "FAIL: disabled observability recorded spans\n");
+      return 1;
+    }
+    // The kernel timers ride the same gate: a disabled run must attribute
+    // nothing (no clock reads happened, so no bytes/latency either).
+    for (const obs::KernelStat& st : obs::kernel_stats()) {
+      if (st.calls != 0 || st.bytes != 0) {
+        std::fprintf(stderr, "FAIL: disabled observability recorded kernel '%s'\n",
+                     st.name);
+        return 1;
+      }
+    }
+    // Nobody configured the flight recorder here, so its sampler thread must
+    // not exist — disabled observability means no background threads at all.
+    if (obs::FlightRecorder::global().running()) {
+      std::fprintf(stderr, "FAIL: flight-recorder sampler running unrequested\n");
       return 1;
     }
 

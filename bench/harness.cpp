@@ -7,6 +7,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <map>
+#include <set>
 #include <thread>
 
 #include "baselines/registry.hpp"
@@ -167,6 +168,9 @@ struct GateState {
   /// Advisory latency samples (µs) from record_advisory_us — summarized
   /// lower-is-better + advisory, so they warn but never fail the gate.
   std::map<std::string, std::vector<double>> advisory;
+  /// Figures this process actually ran (first key segment) — the update path
+  /// uses it to retire stale keys without clobbering other benches' figures.
+  std::set<std::string> figures;
 
   bool active() const { return update || !baseline_path.empty(); }
 };
@@ -328,31 +332,51 @@ void print_rows(const std::string& figure, const std::vector<Row>& rows) {
     header_printed = true;
     std::printf("%s\n", csv_header());
   }
+  // Unmeasured cells print empty (not 0.00) so downstream pandas reads NaN
+  // instead of a fake measurement.
+  auto cell = [](bool has, const char* fmt, double v) {
+    char buf[48];
+    if (!has) return std::string();
+    std::snprintf(buf, sizeof(buf), fmt, v);
+    return std::string(buf);
+  };
   for (const Row& r : rows)
-    std::printf("%s,%s,%g,%.3f,%.2f,%.2f,%.2f,%zu,%d,%d\n", figure.c_str(),
-                r.compressor.c_str(), r.eb, r.ratio, r.comp_mbps, r.decomp_mbps, r.psnr_db,
-                r.violations, r.pareto_compress ? 1 : 0, r.pareto_decompress ? 1 : 0);
+    std::printf("%s,%s,%g,%s,%s,%s,%s,%s,%d,%d\n", figure.c_str(), r.compressor.c_str(),
+                r.eb, cell(r.has_ratio, "%.3f", r.ratio).c_str(),
+                cell(r.has_comp, "%.2f", r.comp_mbps).c_str(),
+                cell(r.has_decomp, "%.2f", r.decomp_mbps).c_str(),
+                cell(r.has_psnr, "%.2f", r.psnr_db).c_str(),
+                cell(r.has_violations, "%.0f", static_cast<double>(r.violations)).c_str(),
+                r.pareto_compress ? 1 : 0, r.pareto_decompress ? 1 : 0);
   std::fflush(stdout);
   JsonSink& sink = json_sink();
   if (!sink.path.empty())
     for (const Row& r : rows) sink.rows.emplace_back(figure, r);
   if (gate_state().active()) {
     // Accumulate baseline samples keyed "<figure>/<compressor>@<eps>/<metric>".
+    // Metrics the row didn't measure are skipped entirely: a dead key in the
+    // baseline would compare 0 against 0 forever and dilute the gate table.
+    gate_state().figures.insert(figure);
     for (const Row& r : rows) {
       char eps_buf[32];
       std::snprintf(eps_buf, sizeof(eps_buf), "%g", r.eb);
       const std::string base = figure + "/" + r.compressor + "@" + eps_buf + "/";
-      record_sample(base + "ratio", r.ratio);
-      record_sample(base + "psnr_dB", r.psnr_db);
-      record_sample(base + "violations", static_cast<double>(r.violations));
-      if (!r.comp_run_mbps.empty())
-        record_samples(base + "comp_MBps", r.comp_run_mbps);
-      else
-        record_sample(base + "comp_MBps", r.comp_mbps);
-      if (!r.decomp_run_mbps.empty())
-        record_samples(base + "decomp_MBps", r.decomp_run_mbps);
-      else
-        record_sample(base + "decomp_MBps", r.decomp_mbps);
+      if (r.has_ratio) record_sample(base + "ratio", r.ratio);
+      if (r.has_psnr) record_sample(base + "psnr_dB", r.psnr_db);
+      if (r.has_violations)
+        record_sample(base + "violations", static_cast<double>(r.violations));
+      if (r.has_comp) {
+        if (!r.comp_run_mbps.empty())
+          record_samples(base + "comp_MBps", r.comp_run_mbps);
+        else
+          record_sample(base + "comp_MBps", r.comp_mbps);
+      }
+      if (r.has_decomp) {
+        if (!r.decomp_run_mbps.empty())
+          record_samples(base + "decomp_MBps", r.decomp_run_mbps);
+        else
+          record_sample(base + "decomp_MBps", r.decomp_mbps);
+      }
     }
   }
 }
@@ -450,6 +474,23 @@ int finish() {
     doc.tag = "baseline";
     doc.meta["schema_note"] = "medians+MAD of bench rows; hist/* are latency quantiles";
     doc.meta["csv_header"] = csv_header();
+    // The committed baseline is the union of several bench binaries'
+    // figures, but BaselineStore::save rewrites the whole file — so merge:
+    // keys from figures this process re-ran are replaced wholesale (stale
+    // rows retire), every other bench's keys are carried forward, and the
+    // current run wins on collision. hist/* and adv/* keys merge
+    // current-wins the same way.
+    try {
+      obs::BaselineDoc old = obs::BaselineStore::load(path);
+      for (const auto& [key, m] : old.metrics) {
+        if (current.count(key)) continue;
+        const std::string fig = key.substr(0, key.find('/'));
+        if (g.figures.count(fig)) continue;  // re-run figure: key retired
+        current[key] = m;
+      }
+    } catch (const std::exception&) {
+      // No previous baseline (or unreadable): write the current run alone.
+    }
     doc.metrics = std::move(current);
     try {
       obs::BaselineStore::save(path, doc);

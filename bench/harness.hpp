@@ -52,6 +52,13 @@ struct Row {
   std::size_t violations = 0;  ///< total bound violations observed
   bool pareto_compress = false;
   bool pareto_decompress = false;
+  /// Which columns this row actually measured. A throughput-only bench (the
+  /// ingest/store/kernel rows) has no decompression pass, PSNR, or violation
+  /// count — those cells print empty in the CSV and are never recorded as
+  /// baseline samples, so the regression gate never "passes" on a metric
+  /// that is structurally always zero.
+  bool has_ratio = true, has_comp = true, has_decomp = true;
+  bool has_psnr = true, has_violations = true;
   /// Per-run row-level throughput samples (same nested-geomean aggregation
   /// as the median columns, computed per run index). Only populated while
   /// observability is on — they feed the baseline's median/MAD summaries.

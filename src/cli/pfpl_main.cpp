@@ -50,7 +50,9 @@
 #include <thread>
 #include <vector>
 
+#include "cli/top_window.hpp"
 #include "core/pfpl.hpp"
+#include "data/synthetic.hpp"
 #include "ingest/pipeline.hpp"
 #include "io/raw_file.hpp"
 #include "net/client.hpp"
@@ -59,6 +61,7 @@
 #include "obs/audit.hpp"
 #include "obs/event_log.hpp"
 #include "obs/json.hpp"
+#include "obs/kernels.hpp"
 #include "obs/metrics.hpp"
 #include "obs/report.hpp"
 #include "obs/trace.hpp"
@@ -94,12 +97,18 @@ namespace {
                "       [--store DIR] [--cache-mb N]   # answer repeats from the chunk store\n"
                "       [--metrics-port N]  # plain-HTTP GET /metrics listener (0 = ephemeral)\n"
                "       [--slow-ms N] [--slow-log FILE]  # capture + log slow requests\n"
+               "       [--flight-ms N] [--flight-depth N]  # metric-snapshot flight recorder\n"
+               "       [--stall-ms N]     # watchdog: flag requests/stages stuck N ms\n"
+               "       [--crash-dir DIR]  # fatal-signal crash reports + stall dumps\n"
                "  pfpl remote compress <in.raw> <out.pfpl> --host H:P --dtype f32|f64\n"
                "       --eb abs|rel|noa --eps <e>\n"
                "  pfpl remote decompress <in.pfpl> <out.raw> --host H:P\n"
                "  pfpl remote stats|ping|shutdown --host H:P [--timeout-ms N]\n"
-               "  pfpl remote metrics --host H:P [--prom]\n"
+               "  pfpl remote metrics --host H:P [--prom | --history]\n"
                "  pfpl top --host H:P [--interval-ms N] [--count N]\n"
+               "  pfpl profile [--json] [--suite NAME] [--dtype f32|f64] [--full]\n"
+               "       [--eb abs|rel|noa] [--eps <e>] [--exec serial|omp|gpusim]\n"
+               "       per-kernel throughput attribution over the synthetic suites\n"
                "  pfpl store put <in.raw> --store DIR --dtype f32|f64 --eb abs|rel|noa\n"
                "       --eps <e> [--exec serial|omp|gpusim]\n"
                "  pfpl store get <key> <out.pfpl> --store DIR\n"
@@ -194,7 +203,13 @@ struct Flags {
   int slow_ms = 0;                  ///< `pfpl serve --slow-ms N` (0 = off)
   std::string slow_log;             ///< `pfpl serve --slow-log FILE` (empty = stderr)
   int metrics_port = -1;            ///< `pfpl serve --metrics-port N` (-1 = off)
+  // Flight recorder / crash diagnostics (`pfpl serve`).
+  int flight_ms = 0;                ///< `--flight-ms N` snapshot cadence (0 = off)
+  int flight_depth = 32;            ///< `--flight-depth N` ring capacity
+  u64 stall_ms = 0;                 ///< `--stall-ms N` watchdog threshold (0 = off)
+  std::string crash_dir;            ///< `--crash-dir DIR` (empty = no crash reports)
   bool prom = false;                ///< `pfpl remote metrics --prom`
+  bool history = false;             ///< `pfpl remote metrics --history`
   int interval_ms = 1000;           ///< `pfpl top --interval-ms N`
   int count = 0;                    ///< `pfpl top --count N` (0 = until ^C)
 };
@@ -303,6 +318,32 @@ Flags parse_flags(int argc, char** argv, int first, std::vector<std::string>* po
       }
     } else if (a == "--slow-log") {
       fl.slow_log = need("--slow-log");
+    } else if (a == "--flight-ms") {
+      std::string v = need("--flight-ms");
+      try {
+        fl.flight_ms = static_cast<int>(std::stol(v));
+        if (fl.flight_ms < 0) throw CompressionError("");
+      } catch (const std::exception&) {
+        throw CompressionError("invalid value for --flight-ms: '" + v + "'");
+      }
+    } else if (a == "--flight-depth") {
+      std::string v = need("--flight-depth");
+      try {
+        fl.flight_depth = static_cast<int>(std::stol(v));
+        if (fl.flight_depth <= 0) throw CompressionError("");
+      } catch (const std::exception&) {
+        throw CompressionError("invalid value for --flight-depth: '" + v +
+                               "' (expected a positive snapshot count)");
+      }
+    } else if (a == "--stall-ms") {
+      std::string v = need("--stall-ms");
+      try {
+        fl.stall_ms = std::stoull(v);
+      } catch (const std::exception&) {
+        throw CompressionError("invalid value for --stall-ms: '" + v + "'");
+      }
+    } else if (a == "--crash-dir") {
+      fl.crash_dir = need("--crash-dir");
     } else if (a == "--metrics-port") {
       std::string v = need("--metrics-port");
       try {
@@ -331,6 +372,8 @@ Flags parse_flags(int argc, char** argv, int first, std::vector<std::string>* po
       }
     } else if (a == "--prom") {
       fl.prom = true;
+    } else if (a == "--history") {
+      fl.history = true;
     } else if (a == "--suite") {
       fl.suite = need("--suite");
     } else if (a == "--json") {
@@ -643,6 +686,10 @@ int cmd_serve(const std::vector<std::string>& positional, const Flags& fl) {
   opts.exec = fl.params.exec;
   opts.slow_ms = fl.slow_ms;
   opts.metrics_port = fl.metrics_port;
+  opts.flight_ms = fl.flight_ms;
+  opts.flight_depth = fl.flight_depth;
+  opts.stall_ms = fl.stall_ms;
+  opts.crash_dir = fl.crash_dir;
   if (!fl.slow_log.empty()) {
     // Route slow-request events (and any other EventLog traffic) to a file
     // instead of stderr. Deliberately independent of --trace/--metrics: the
@@ -675,11 +722,17 @@ int cmd_serve(const std::vector<std::string>& positional, const Flags& fl) {
                 fl.store_dir.c_str());
   // Same contract as the serving line: parseable, flushed before the loop.
   if (fl.metrics_port >= 0)
-    std::printf("pfpl: metrics on %s:%u (GET /metrics, /metrics.json, /stats)\n",
+    std::printf("pfpl: metrics on %s:%u (GET /metrics, /metrics.json, /stats, /history)\n",
                 opts.bind_host.c_str(), static_cast<unsigned>(server.metrics_port()));
   if (fl.slow_ms > 0)
     std::printf("pfpl: slow-request capture: threshold=%dms log=%s\n", fl.slow_ms,
                 fl.slow_log.empty() ? "stderr" : fl.slow_log.c_str());
+  if (fl.flight_ms > 0 || fl.stall_ms > 0 || !fl.crash_dir.empty())
+    std::printf("pfpl: flight recorder: interval=%dms depth=%d stall=%llums "
+                "crash-dir=%s\n",
+                fl.flight_ms > 0 ? fl.flight_ms : 1000, fl.flight_depth,
+                static_cast<unsigned long long>(fl.stall_ms),
+                fl.crash_dir.empty() ? "(none)" : fl.crash_dir.c_str());
   std::fflush(stdout);
   server.run();
   std::signal(SIGINT, SIG_DFL);
@@ -745,8 +798,9 @@ int cmd_remote(const std::vector<std::string>& positional, const Flags& fl) {
     return 0;
   }
   if (verb == "metrics") {
-    // Prometheus text already ends in '\n'; the JSON document does not.
-    const std::string doc = client.metrics(fl.prom);
+    // Prometheus text already ends in '\n'; the JSON documents do not.
+    const std::string doc = fl.history ? client.metrics_fmt("history")
+                                       : client.metrics(fl.prom);
     std::printf(fl.prom ? "%s" : "%s\n", doc.c_str());
     return 0;
   }
@@ -784,19 +838,11 @@ int cmd_top(const std::vector<std::string>& positional, const Flags& fl) {
   }
   net::Client client(copts);
 
-  struct Sample {
-    double t = 0;  ///< client-side steady seconds (dt base for rate conversion)
-    double req = 0, bytes_rx = 0, bytes_tx = 0, hits = 0, misses = 0;
-    double conns = 0, queue = 0, slow = 0, errors = 0;
-    bool has_hist = false;  ///< net.request_us present with count > 0
-    double p50 = 0, p95 = 0, p99 = 0;
-    std::vector<double> bounds, buckets;
-  };
   auto num = [](const obs::JsonValue& o, const char* k) -> double {
     return o.has(k) ? o.at(k).num : 0.0;
   };
-  auto scrape = [&]() -> Sample {
-    Sample s;
+  auto scrape = [&]() -> cli::TopSample {
+    cli::TopSample s;
     s.t = std::chrono::duration<double>(
               std::chrono::steady_clock::now().time_since_epoch())
               .count();
@@ -829,21 +875,6 @@ int cmd_top(const std::vector<std::string>& positional, const Flags& fl) {
     }
     return s;
   };
-  // Windowed quantile: upper edge of the bucket holding the q-th delta
-  // sample (overflow bucket reports the last finite edge — a floor).
-  auto bucket_q = [](const std::vector<double>& bounds, const std::vector<double>& d,
-                    double q) -> double {
-    double total = 0;
-    for (double v : d) total += v;
-    if (total <= 0 || bounds.empty()) return -1;
-    const double target = q * total;
-    double cum = 0;
-    for (std::size_t i = 0; i < d.size(); ++i) {
-      cum += d[i];
-      if (cum >= target) return i < bounds.size() ? bounds[i] : bounds.back();
-    }
-    return bounds.back();
-  };
 
   const std::string ticks =
       fl.count ? " (" + std::to_string(fl.count) + " ticks)" : std::string();
@@ -854,33 +885,20 @@ int cmd_top(const std::vector<std::string>& positional, const Flags& fl) {
               "slow");
   std::fflush(stdout);
 
-  Sample prev = scrape();
+  cli::TopSample prev = scrape();
   for (int tick = 0; fl.count == 0 || tick < fl.count; ++tick) {
     std::this_thread::sleep_for(std::chrono::milliseconds(fl.interval_ms));
-    Sample cur = scrape();
-    double dt = cur.t - prev.t;
-    if (dt <= 0) dt = fl.interval_ms / 1000.0;
-    const double rps = (cur.req - prev.req) / dt;
-    const double rx = (cur.bytes_rx - prev.bytes_rx) / dt / 1e6;
-    const double tx = (cur.bytes_tx - prev.bytes_tx) / dt / 1e6;
-    const double dh = cur.hits - prev.hits, dm = cur.misses - prev.misses;
-    const bool have_hit = dh + dm > 0;
-    const double hit_pct = have_hit ? 100.0 * dh / (dh + dm) : 0.0;
-
-    double p50 = -1, p95 = -1, p99 = -1;
-    if (cur.has_hist && prev.has_hist && cur.buckets.size() == prev.buckets.size() &&
-        cur.bounds == prev.bounds && !cur.buckets.empty()) {
-      std::vector<double> d(cur.buckets.size());
-      for (std::size_t i = 0; i < d.size(); ++i) d[i] = cur.buckets[i] - prev.buckets[i];
-      p50 = bucket_q(cur.bounds, d, 0.50);
-      p95 = bucket_q(cur.bounds, d, 0.95);
-      p99 = bucket_q(cur.bounds, d, 0.99);
-    }
-    if (p50 < 0 && cur.has_hist) {
-      // First tick, or an idle window: fall back to lifetime quantiles.
-      p50 = cur.p50;
-      p95 = cur.p95;
-      p99 = cur.p99;
+    cli::TopSample cur = scrape();
+    const cli::TopWindow w =
+        cli::compute_window(prev, cur, fl.interval_ms / 1000.0);
+    if (w.reset) {
+      // Cumulative counters went backwards: the server restarted between
+      // scrapes. Rates over that window are meaningless — say so and
+      // re-anchor on the new process's counters.
+      std::printf("%10s  -- server restarted, counters reset --\n", "");
+      std::fflush(stdout);
+      prev = cur;
+      continue;
     }
 
     char q50[32], q95[32], q99[32], hitbuf[16];
@@ -890,18 +908,108 @@ int cmd_top(const std::vector<std::string>& positional, const Flags& fl) {
       else
         std::snprintf(buf, n, "%.0f", v);
     };
-    fmt_q(q50, sizeof q50, p50);
-    fmt_q(q95, sizeof q95, p95);
-    fmt_q(q99, sizeof q99, p99);
-    if (have_hit)
-      std::snprintf(hitbuf, sizeof hitbuf, "%.1f", hit_pct);
+    fmt_q(q50, sizeof q50, w.p50);
+    fmt_q(q95, sizeof q95, w.p95);
+    fmt_q(q99, sizeof q99, w.p99);
+    if (w.have_hit)
+      std::snprintf(hitbuf, sizeof hitbuf, "%.1f", w.hit_pct);
     else
       std::snprintf(hitbuf, sizeof hitbuf, "-");
-    std::printf("%10.1f %10.2f %10.2f %9s %9s %9s %6s %6.0f %6.0f %6.0f\n", rps, rx,
-                tx, q50, q95, q99, hitbuf, cur.conns, cur.queue, cur.slow);
+    std::printf("%10.1f %10.2f %10.2f %9s %9s %9s %6s %6.0f %6.0f %6.0f\n", w.rps,
+                w.rx_mbps, w.tx_mbps, q50, q95, q99, hitbuf, cur.conns, cur.queue,
+                cur.slow);
     std::fflush(stdout);
     prev = cur;
   }
+  return 0;
+}
+
+/// `pfpl profile` — per-kernel throughput attribution over the synthetic
+/// suites. Forces metric recording on, runs compress -> decompress for every
+/// (suite, file) of each dtype group, and prints the kernel attribution
+/// table per group, with a consistency line against the whole-chunk timer
+/// (attributed kernel time can never exceed core.encode_chunk_us — per-call
+/// durations are floored to whole microseconds).
+int cmd_profile(const std::vector<std::string>& positional, const Flags& fl) {
+  if (!positional.empty()) usage();
+  obs::set_enabled(true);  // attribution is the whole point of the verb
+  const std::size_t target_values = fl.full ? (1u << 20) : (1u << 16);
+  const int max_files = fl.full ? 2 : 1;
+
+  obs::JsonWriter jw;
+  jw.begin_object();
+  jw.kv("schema", "pfpl-profile/1");
+  jw.kv("eb", to_string(fl.params.eb));
+  jw.kv("eps", fl.params.eps);
+  jw.kv("exec", pfpl::to_string(fl.params.exec));
+  jw.key("groups").begin_array();
+
+  bool ran_any = false;
+  std::string last_report;
+  for (DType dtype : {DType::F32, DType::F64}) {
+    if (fl.dtype_set && dtype != fl.dtype) continue;
+    std::vector<data::Suite> suites;
+    std::size_t total_bytes = 0;
+    for (const data::SuiteSpec& spec : data::paper_suites()) {
+      if (spec.dtype != dtype) continue;
+      if (!fl.suite.empty() && spec.name != fl.suite) continue;
+      suites.push_back(data::generate(spec, target_values, max_files));
+      total_bytes += suites.back().total_bytes();
+    }
+    if (suites.empty()) continue;
+    ran_any = true;
+
+    // Each dtype group starts from a clean registry so its table attributes
+    // only its own traffic.
+    obs::MetricsRegistry::global().reset();
+    for (const data::Suite& s : suites)
+      for (const data::SyntheticFile& f : s.files) {
+        const Bytes stream = pfpl::compress(f.field(), fl.params);
+        const std::vector<u8> back = pfpl::decompress(stream, fl.params.exec);
+        (void)back;
+      }
+
+    const u64 chunk_us =
+        obs::MetricsRegistry::global().histogram("core.encode_chunk_us").sum();
+    u64 attributed_us = 0;
+    for (const obs::KernelStat& k : obs::kernel_stats())
+      if (k.encode) attributed_us += k.us;
+    last_report = obs::kernel_report_json();
+
+    if (!fl.json) {
+      std::printf("== %s: %zu suite(s), %.1f MB, eb=%s eps=%g exec=%s ==\n",
+                  to_string(dtype), suites.size(), total_bytes / 1e6,
+                  to_string(fl.params.eb), fl.params.eps,
+                  pfpl::to_string(fl.params.exec));
+      std::printf("%s", obs::kernel_table_text().c_str());
+      std::printf("encode: %llu us in kernels of %llu us per-chunk total (%.1f%% "
+                  "attributed)\n\n",
+                  static_cast<unsigned long long>(attributed_us),
+                  static_cast<unsigned long long>(chunk_us),
+                  chunk_us ? 100.0 * static_cast<double>(attributed_us) /
+                                 static_cast<double>(chunk_us)
+                           : 0.0);
+    }
+    jw.begin_object();
+    jw.kv("dtype", to_string(dtype));
+    jw.key("suites").begin_array();
+    for (const data::Suite& s : suites) jw.value(s.spec.name);
+    jw.end_array();
+    jw.kv("bytes", static_cast<unsigned long long>(total_bytes));
+    jw.kv("chunk_encode_us", static_cast<unsigned long long>(chunk_us));
+    jw.kv("attributed_encode_us", static_cast<unsigned long long>(attributed_us));
+    jw.key("kernels").raw(last_report);
+    jw.end_object();
+  }
+  jw.end_array();
+  jw.end_object();
+
+  if (!ran_any) {
+    std::fprintf(stderr, "pfpl profile: no suite matched the filters\n");
+    return 1;
+  }
+  if (fl.json) std::printf("%s\n", jw.str().c_str());
+  obs::RunReport::global().add_section("kernels", last_report);
   return 0;
 }
 
@@ -1009,13 +1117,15 @@ int cmd_store(const std::vector<std::string>& positional, const Flags& fl) {
 int run_command(int argc, char** argv) {
   if (argc < 2) usage();
   std::string mode = argv[1];
-  // `audit`, `serve`, and `top` take no positional arguments; every other
-  // verb needs at least one.
-  if (mode != "audit" && mode != "serve" && mode != "top" && argc < 3) usage();
+  // `audit`, `serve`, `top`, and `profile` take no positional arguments;
+  // every other verb needs at least one.
+  if (mode != "audit" && mode != "serve" && mode != "top" && mode != "profile" &&
+      argc < 3)
+    usage();
   try {
     if (mode == "pack" || mode == "unpack" || mode == "list" || mode == "stats" ||
         mode == "audit" || mode == "serve" || mode == "remote" || mode == "store" ||
-        mode == "top") {
+        mode == "top" || mode == "profile") {
       std::vector<std::string> positional;
       Flags fl = parse_flags(argc, argv, 2, &positional);
       if (mode == "pack") return cmd_pack(positional, fl);
@@ -1026,6 +1136,7 @@ int run_command(int argc, char** argv) {
       if (mode == "remote") return cmd_remote(positional, fl);
       if (mode == "store") return cmd_store(positional, fl);
       if (mode == "top") return cmd_top(positional, fl);
+      if (mode == "profile") return cmd_profile(positional, fl);
       return cmd_list(positional);
     }
     if (mode == "info") {

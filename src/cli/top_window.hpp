@@ -1,0 +1,113 @@
+// Rate-conversion window for `pfpl top` — extracted so the delta logic is
+// unit-testable (tests/test_io_cli.cpp) without a live server.
+//
+// `pfpl top` polls cumulative server counters and renders per-window rates.
+// Cumulative counters only ever grow — unless the server restarted between
+// scrapes, in which case every counter re-starts from zero and a naive
+// `cur - prev` delta goes hugely negative. compute_window() detects any
+// backwards-moving counter, flags the window as a reset, and zeroes the
+// rates so the caller re-anchors (prev = cur) instead of printing garbage.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace repro::cli {
+
+/// One scrape of the server's cumulative counters (a subset of the METRICS
+/// document; `t` is the client-side steady clock in seconds).
+struct TopSample {
+  double t = 0;
+  double req = 0, bytes_rx = 0, bytes_tx = 0, hits = 0, misses = 0;
+  double conns = 0, queue = 0, slow = 0, errors = 0;
+  bool has_hist = false;  ///< net.request_us present with count > 0
+  double p50 = 0, p95 = 0, p99 = 0;  ///< lifetime quantiles (fallback)
+  std::vector<double> bounds, buckets;
+};
+
+/// Rates and quantiles over one scrape window.
+struct TopWindow {
+  bool reset = false;  ///< counters moved backwards: server restarted
+  double dt = 0;
+  double rps = 0, rx_mbps = 0, tx_mbps = 0;
+  bool have_hit = false;  ///< the window saw at least one store lookup
+  double hit_pct = 0;
+  double p50 = -1, p95 = -1, p99 = -1;  ///< -1 = unavailable
+};
+
+/// True when any cumulative counter decreased — the defining signature of a
+/// server restart (counters are in-process atomics starting at zero).
+inline bool counters_went_backwards(const TopSample& prev, const TopSample& cur) {
+  if (cur.req < prev.req || cur.bytes_rx < prev.bytes_rx ||
+      cur.bytes_tx < prev.bytes_tx || cur.hits < prev.hits ||
+      cur.misses < prev.misses || cur.slow < prev.slow || cur.errors < prev.errors)
+    return true;
+  // Histogram bucket counts are cumulative too; any shrink is a reset even
+  // if the scalar counters happen to have caught back up.
+  if (cur.has_hist && prev.has_hist && cur.bounds == prev.bounds &&
+      cur.buckets.size() == prev.buckets.size()) {
+    for (std::size_t i = 0; i < cur.buckets.size(); ++i)
+      if (cur.buckets[i] < prev.buckets[i]) return true;
+  }
+  return false;
+}
+
+/// Windowed quantile: upper edge of the bucket holding the q-th delta sample
+/// (the overflow bucket reports the last finite edge — a floor). Returns -1
+/// when the window saw no samples.
+inline double bucket_quantile(const std::vector<double>& bounds,
+                              const std::vector<double>& deltas, double q) {
+  double total = 0;
+  for (double v : deltas) total += v;
+  if (total <= 0 || bounds.empty()) return -1;
+  const double target = q * total;
+  double cum = 0;
+  for (std::size_t i = 0; i < deltas.size(); ++i) {
+    cum += deltas[i];
+    if (cum >= target) return i < bounds.size() ? bounds[i] : bounds.back();
+  }
+  return bounds.back();
+}
+
+/// Convert two consecutive scrapes into window rates. `fallback_dt` is used
+/// when the clock delta is non-positive (clock weirdness; keeps rates finite).
+inline TopWindow compute_window(const TopSample& prev, const TopSample& cur,
+                                double fallback_dt) {
+  TopWindow w;
+  w.dt = cur.t - prev.t;
+  if (w.dt <= 0) w.dt = fallback_dt;
+  if (counters_went_backwards(prev, cur)) {
+    // Re-anchor: rates over a restart window are meaningless. Lifetime
+    // quantiles of the NEW process are still valid, so surface those.
+    w.reset = true;
+    if (cur.has_hist) {
+      w.p50 = cur.p50;
+      w.p95 = cur.p95;
+      w.p99 = cur.p99;
+    }
+    return w;
+  }
+  w.rps = (cur.req - prev.req) / w.dt;
+  w.rx_mbps = (cur.bytes_rx - prev.bytes_rx) / w.dt / 1e6;
+  w.tx_mbps = (cur.bytes_tx - prev.bytes_tx) / w.dt / 1e6;
+  const double dh = cur.hits - prev.hits, dm = cur.misses - prev.misses;
+  w.have_hit = dh + dm > 0;
+  if (w.have_hit) w.hit_pct = 100.0 * dh / (dh + dm);
+  if (cur.has_hist && prev.has_hist && cur.buckets.size() == prev.buckets.size() &&
+      cur.bounds == prev.bounds && !cur.buckets.empty()) {
+    std::vector<double> d(cur.buckets.size());
+    for (std::size_t i = 0; i < d.size(); ++i) d[i] = cur.buckets[i] - prev.buckets[i];
+    w.p50 = bucket_quantile(cur.bounds, d, 0.50);
+    w.p95 = bucket_quantile(cur.bounds, d, 0.95);
+    w.p99 = bucket_quantile(cur.bounds, d, 0.99);
+  }
+  if (w.p50 < 0 && cur.has_hist) {
+    // First tick, or an idle window: fall back to lifetime quantiles.
+    w.p50 = cur.p50;
+    w.p95 = cur.p95;
+    w.p99 = cur.p99;
+  }
+  return w;
+}
+
+}  // namespace repro::cli

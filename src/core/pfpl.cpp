@@ -12,6 +12,7 @@
 #include "core/pipeline.hpp"
 #include "core/quantizers.hpp"
 #include "fpmath/det_math.hpp"
+#include "obs/kernels.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "sim/gpu_pipeline.hpp"
@@ -76,6 +77,7 @@ u32 encode_one_chunk(const T* data, std::size_t beg, std::size_t k, const Q& q,
   std::vector<Bits> words(k);
   {
     OBS_SPAN("pfpl.quantize");
+    obs::KernelTimer kt(obs::Kernel::Quantize, k * sizeof(T));
     for (std::size_t i = 0; i < k; ++i) words[i] = q.encode(data[beg + i]);
   }
   bool compressed = exec == Executor::GpuSim
@@ -150,7 +152,11 @@ std::vector<u8> decompress_typed(const Bytes& in, const Header& h, const Q& q,
       sim::gpu_chunk_decode(in.data() + off, csize, compressed, words.data(), k);
     else
       chunk_decode(in.data() + off, csize, compressed, words.data(), k);
-    for (std::size_t i = 0; i < k; ++i) values[beg + i] = q.decode(words[i]);
+    {
+      OBS_SPAN("pfpl.dequantize");
+      obs::KernelTimer kt(obs::Kernel::Dequantize, k * sizeof(T));
+      for (std::size_t i = 0; i < k; ++i) values[beg + i] = q.decode(words[i]);
+    }
     CoreMetrics::get().chunks_decoded.add(1);
   };
 

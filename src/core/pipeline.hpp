@@ -17,6 +17,7 @@
 #include "bits/delta.hpp"
 #include "bits/zerobyte.hpp"
 #include "common/types.hpp"
+#include "obs/kernels.hpp"
 #include "obs/trace.hpp"
 
 namespace repro::pfpl {
@@ -48,19 +49,26 @@ inline constexpr std::size_t padded_words(std::size_t k) {
 template <typename U>
 bool chunk_encode(const U* words, std::size_t k, std::vector<u8>& out) {
   const std::size_t padded = padded_words<U>(k);
+  // Kernel attribution charges each stage the logical chunk bytes (k words),
+  // not the tile-padded footprint, so per-kernel MB/s is comparable across
+  // stages and sums against core.bytes_in.
+  const std::size_t kbytes = k * sizeof(U);
   std::vector<U> buf(padded, U{0});
-  std::memcpy(buf.data(), words, k * sizeof(U));
+  std::memcpy(buf.data(), words, kbytes);
   {
     OBS_SPAN("pfpl.delta_nb");
+    obs::KernelTimer kt(obs::Kernel::DeltaNb, kbytes);
     bits::delta_negabinary_encode(buf.data(), padded);
   }
   {
     OBS_SPAN("pfpl.bitshuffle");
+    obs::KernelTimer kt(obs::Kernel::Bitshuffle, kbytes);
     bits::bitshuffle(buf.data(), padded);
   }
   const std::size_t start = out.size();
   {
     OBS_SPAN("pfpl.zerobyte");
+    obs::KernelTimer kt(obs::Kernel::Zerobyte, kbytes);
     bits::zerobyte_encode(reinterpret_cast<const u8*>(buf.data()), padded * sizeof(U), out);
   }
   if (out.size() - start >= k * sizeof(U)) {
@@ -84,12 +92,23 @@ std::size_t chunk_decode(const u8* in, std::size_t in_size, bool compressed, U* 
     return k * sizeof(U);
   }
   const std::size_t padded = padded_words<U>(k);
+  const std::size_t kbytes = k * sizeof(U);
   std::vector<U> buf(padded);
-  std::size_t used = bits::zerobyte_decode(in, in_size, reinterpret_cast<u8*>(buf.data()),
-                                           padded * sizeof(U));
-  bits::bitshuffle(buf.data(), padded);
-  bits::delta_negabinary_decode(buf.data(), padded);
-  std::memcpy(words, buf.data(), k * sizeof(U));
+  std::size_t used;
+  {
+    obs::KernelTimer kt(obs::Kernel::ZerobyteDec, kbytes);
+    used = bits::zerobyte_decode(in, in_size, reinterpret_cast<u8*>(buf.data()),
+                                 padded * sizeof(U));
+  }
+  {
+    obs::KernelTimer kt(obs::Kernel::BitshuffleDec, kbytes);
+    bits::bitshuffle(buf.data(), padded);
+  }
+  {
+    obs::KernelTimer kt(obs::Kernel::DeltaNbDec, kbytes);
+    bits::delta_negabinary_decode(buf.data(), padded);
+  }
+  std::memcpy(words, buf.data(), kbytes);
   return used;
 }
 

@@ -15,6 +15,7 @@
 #include "obs/audit.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "obs/watchdog.hpp"
 #include "store/store.hpp"
 #include "svc/byte_budget.hpp"
 #include "svc/thread_pool.hpp"
@@ -185,11 +186,21 @@ std::vector<Result> IngestPipeline::run(std::vector<Item> items) {
 
   const u64 slow_us = slow_stage_us();
 
+  // Watchdog slots, one per stage, shared by every pipeline instance (the
+  // names are stable and slots are never recycled). Each stage marks itself
+  // busy per item — including queue pushes, so a stage wedged on a full
+  // queue behind a stuck consumer is flagged too. Inert until armed.
+  static const int wd_read = obs::Watchdog::global().register_slot("ingest.read");
+  static const int wd_hash = obs::Watchdog::global().register_slot("ingest.hash");
+  static const int wd_encode = obs::Watchdog::global().register_slot("ingest.encode");
+  static const int wd_append = obs::Watchdog::global().register_slot("ingest.append");
+
   // ---- stage 1: read -----------------------------------------------------
   std::thread read_thread([&] {
     double stage_ms = 0;
     for (std::size_t i = 0; i < items.size(); ++i) {
       if (abort.load(std::memory_order_relaxed)) break;
+      obs::StallScope stall(wd_read, i);
       auto w = std::make_unique<Work>();
       w->index = i;
       w->item = std::move(items[i]);
@@ -226,6 +237,7 @@ std::vector<Result> IngestPipeline::run(std::vector<Item> items) {
     u64 hits = 0, misses = 0;
     WorkPtr w;
     while (q_hash.pop(w)) {
+      obs::StallScope stall(wd_hash, w->index);
       if (!w->failed && !abort.load(std::memory_order_relaxed)) {
         Timer t;
         try {
@@ -272,6 +284,7 @@ std::vector<Result> IngestPipeline::run(std::vector<Item> items) {
     svc::ByteBudget budget(opts_.max_inflight_bytes);
     WorkPtr w;
     while (q_encode.pop(w)) {
+      obs::StallScope stall(wd_encode, w->index);
       if (!w->failed && !abort.load(std::memory_order_relaxed)) {
         Timer t;
         if (!w->reused) {
@@ -395,6 +408,7 @@ std::vector<Result> IngestPipeline::run(std::vector<Item> items) {
 
     WorkPtr w;
     while (q_append.pop(w)) {
+      obs::StallScope stall(wd_append, w->index);
       stage_sleep(slow_us);
       stage_sleep(opts_.stage_cost_us[3]);
       batch_payload += w->stream.size();

@@ -153,10 +153,13 @@ std::string Client::stats() {
 }
 
 std::string Client::metrics(bool prom) {
+  return metrics_fmt(prom ? "prom" : "json");
+}
+
+std::string Client::metrics_fmt(const std::string& fmt) {
   FrameHeader h;
   h.op = static_cast<u8>(Op::Metrics);
-  const char* fmt = prom ? "prom" : "json";
-  Frame f = roundtrip(h, fmt, std::strlen(fmt));
+  Frame f = roundtrip(h, fmt.data(), fmt.size());
   return std::string(f.payload.begin(), f.payload.end());
 }
 

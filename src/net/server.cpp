@@ -10,6 +10,7 @@
 #include <cerrno>
 #include <chrono>
 #include <cmath>
+#include <csignal>
 #include <cstdlib>
 #include <cstring>
 #include <deque>
@@ -19,8 +20,10 @@
 #include <vector>
 
 #include "ingest/pipeline.hpp"
+#include "obs/crash.hpp"
 #include "obs/event_log.hpp"
 #include "obs/exposition.hpp"
+#include "obs/flight.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -87,6 +90,19 @@ void test_slowdown() {
     const long us = std::atol(e);
     if (us > 0) std::this_thread::sleep_for(std::chrono::microseconds(us));
   }
+}
+
+/// Test-only crash: PFPL_NET_TEST_CRASH_AFTER=N raises SIGSEGV inside the
+/// worker handling the Nth COMPRESS/DECOMPRESS request — the CI induced-crash
+/// smoke uses this to exercise the crash-report path on a serving pfpld.
+/// Unset in production; the counter only exists when the env var is set.
+void test_crash() {
+  static const char* e = std::getenv("PFPL_NET_TEST_CRASH_AFTER");
+  if (!e || e[0] == '\0') return;
+  static std::atomic<long> seen{0};
+  const long n = std::atol(e);
+  if (n > 0 && seen.fetch_add(1, std::memory_order_relaxed) + 1 >= n)
+    ::raise(SIGSEGV);
 }
 
 struct Connection {
@@ -461,6 +477,7 @@ struct Server::Impl {
                                     : "net.work.decompress");
       try {
         test_slowdown();
+        test_crash();
         if (h.base_op() == static_cast<u8>(Op::Compress)) {
           // COMPRESS with --store goes through the ingest dedup probe: a
           // duplicate payload answers straight from the store (byte-identical
@@ -596,6 +613,8 @@ struct Server::Impl {
           doc = obs::prometheus_text();
         } else if (fmt.empty() || fmt == "json") {
           doc = metrics_doc();
+        } else if (fmt == "history") {
+          doc = obs::FlightRecorder::global().history_json();
         } else {
           queue_error(c, h.request_id, h.op, Status::BadParams,
                       "unknown metrics format '" + fmt + "'");
@@ -811,9 +830,12 @@ struct Server::Impl {
     } else if (path == "/stats") {
       body = stats_json();
       ctype = "application/json";
+    } else if (path == "/history") {
+      body = obs::FlightRecorder::global().history_json();
+      ctype = "application/json";
     } else {
       status = "404 Not Found";
-      body = "unknown path (try /metrics, /metrics.json, /stats)\n";
+      body = "unknown path (try /metrics, /metrics.json, /stats, /history)\n";
     }
     if (status[0] == '2' && (path == "/metrics" || path == "/metrics.json")) {
       st.metrics_scrapes.fetch_add(1, std::memory_order_relaxed);
@@ -897,6 +919,27 @@ struct Server::Impl {
   }
 
   void run() {
+    // Flight recorder + crash handler live for the duration of the loop.
+    // stall_ms alone still needs the sampler thread (it drives the checks),
+    // so any of the three options brings the recorder up.
+    const bool flight_on =
+        opts.flight_ms > 0 || opts.stall_ms > 0 || !opts.crash_dir.empty();
+    if (flight_on) {
+      if (!opts.crash_dir.empty()) obs::install_crash_handler(opts.crash_dir);
+      obs::FlightRecorder::Options fo;
+      fo.interval_ms = opts.flight_ms > 0 ? opts.flight_ms : 1000;
+      fo.depth = opts.flight_depth;
+      fo.stall_ms = opts.stall_ms;
+      fo.crash_dir = opts.crash_dir;
+      fo.extra = [this] {
+        return "{\"stats\":" + stats_json() +
+               ",\"slow_requests\":" + slow_json() + "}";
+      };
+      obs::FlightRecorder& fr = obs::FlightRecorder::global();
+      fr.configure(std::move(fo));
+      fr.start();
+    }
+
     std::vector<pollfd> pfds;
     std::vector<u64> pfd_conn;  // conn id per pollfd slot (0 = not a conn)
     for (;;) {
@@ -1000,6 +1043,13 @@ struct Server::Impl {
     // conns are dropped) and drop whatever the workers pushed meanwhile.
     pool->drain();
     process_completions();
+    // Stop the sampler after the pool is quiet: the last snapshot (and the
+    // crash body, when armed) reflects the fully drained server.
+    if (flight_on) {
+      obs::FlightRecorder& fr = obs::FlightRecorder::global();
+      fr.sample_now();
+      fr.stop();
+    }
   }
 };
 

@@ -1,0 +1,146 @@
+#include "obs/crash.hpp"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <mutex>
+
+#include "common/types.hpp"
+#include "obs/json.hpp"
+
+namespace repro::obs {
+namespace {
+
+// Everything the handler touches lives in static storage and is published
+// with release stores; the handler itself allocates nothing.
+char g_path[512] = {0};
+std::atomic<bool> g_installed{false};
+
+// Double-buffered pre-rendered bodies. The strings are never destroyed and
+// never shrink while active; ptr/len are published after the string is
+// fully written, and flips only move forward, so the handler's
+// (acquire-load index, load ptr/len, write) sequence always reads a body
+// that was complete at some point.
+std::string g_bodies[2];
+std::atomic<const char*> g_ptr[2] = {nullptr, nullptr};
+std::atomic<std::size_t> g_len[2] = {0, 0};
+std::atomic<int> g_active{-1};
+std::mutex g_render_m;  ///< serializes set_crash_body callers
+
+/// Decimal-format `v` into `buf` (async-signal-safe snprintf substitute).
+std::size_t u64_dec(char* buf, unsigned long long v) {
+  char tmp[24];
+  std::size_t n = 0;
+  do {
+    tmp[n++] = static_cast<char>('0' + v % 10);
+    v /= 10;
+  } while (v);
+  for (std::size_t i = 0; i < n; ++i) buf[i] = tmp[n - 1 - i];
+  return n;
+}
+
+void write_all(int fd, const char* p, std::size_t n) {
+  while (n > 0) {
+    const ssize_t w = ::write(fd, p, n);
+    if (w <= 0) return;  // nothing recoverable inside a signal handler
+    p += w;
+    n -= static_cast<std::size_t>(w);
+  }
+}
+
+const char* signal_name(int sig) {
+  switch (sig) {
+    case SIGSEGV: return "SIGSEGV";
+    case SIGABRT: return "SIGABRT";
+    case SIGBUS: return "SIGBUS";
+    default: return "SIG?";
+  }
+}
+
+extern "C" void crash_signal_handler(int sig) {
+  // open/write/close and signal/raise are all async-signal-safe.
+  const int fd = ::open(g_path, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd >= 0) {
+    const int a = g_active.load(std::memory_order_acquire);
+    if (a >= 0) {
+      write_all(fd, g_ptr[a].load(std::memory_order_relaxed),
+                g_len[a].load(std::memory_order_relaxed));
+    } else {
+      static const char fallback[] = "{\"schema\":\"pfpl-crash/1\"";
+      write_all(fd, fallback, sizeof(fallback) - 1);
+    }
+    char tail[96];
+    std::size_t n = 0;
+    const char* name = signal_name(sig);
+    std::memcpy(tail + n, ",\"signal\":\"", 11); n += 11;
+    const std::size_t name_len = std::strlen(name);
+    std::memcpy(tail + n, name, name_len); n += name_len;
+    std::memcpy(tail + n, "\",\"signo\":", 10); n += 10;
+    n += u64_dec(tail + n, static_cast<unsigned long long>(sig));
+    tail[n++] = '}';
+    tail[n++] = '\n';
+    write_all(fd, tail, n);
+    ::close(fd);
+  }
+  // Restore the default disposition and re-raise so the process dies with
+  // the original signal (CI and supervisors see the true wait status).
+  ::signal(sig, SIG_DFL);
+  ::raise(sig);
+}
+
+}  // namespace
+
+std::string minimal_crash_body() {
+  JsonWriter w;
+  w.begin_object();
+  w.kv("schema", "pfpl-crash/1");
+  w.kv("pid", static_cast<unsigned long long>(::getpid()));
+  w.key("build").begin_object();
+  w.kv("compiler", __VERSION__);
+  w.kv("cpp", static_cast<unsigned long long>(__cplusplus));
+  w.end_object();
+  w.end_object();
+  std::string body = w.take();
+  body.pop_back();  // the handler supplies the closing brace
+  return body;
+}
+
+void set_crash_body(const std::string& body) {
+  std::lock_guard<std::mutex> lock(g_render_m);
+  const int cur = g_active.load(std::memory_order_relaxed);
+  const int next = cur == 0 ? 1 : 0;
+  g_bodies[next].assign(body);
+  g_ptr[next].store(g_bodies[next].data(), std::memory_order_relaxed);
+  g_len[next].store(g_bodies[next].size(), std::memory_order_relaxed);
+  g_active.store(next, std::memory_order_release);
+}
+
+void install_crash_handler(const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec)
+    throw CompressionError("crash-dir '" + dir + "': " + ec.message());
+  std::snprintf(g_path, sizeof g_path, "%s/crash-%lld.json", dir.c_str(),
+                static_cast<long long>(::getpid()));
+  if (g_active.load(std::memory_order_acquire) < 0) set_crash_body(minimal_crash_body());
+
+  struct sigaction sa;
+  std::memset(&sa, 0, sizeof sa);
+  sa.sa_handler = crash_signal_handler;
+  sigemptyset(&sa.sa_mask);
+  for (const int sig : {SIGSEGV, SIGABRT, SIGBUS}) sigaction(sig, &sa, nullptr);
+  g_installed.store(true, std::memory_order_release);
+}
+
+bool crash_handler_installed() { return g_installed.load(std::memory_order_acquire); }
+
+std::string crash_report_path() {
+  return g_installed.load(std::memory_order_acquire) ? std::string(g_path) : std::string();
+}
+
+}  // namespace repro::obs

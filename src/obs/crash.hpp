@@ -1,0 +1,47 @@
+// Crash reports — an async-signal-safe "black box" dump on fatal signals.
+//
+// install_crash_handler(dir) registers SIGSEGV/SIGABRT/SIGBUS handlers that
+// write `<dir>/crash-<pid>.json` and then re-raise with the default
+// disposition, so the process still dies with the original signal (wait
+// status is unchanged — supervisors and CI observe the real crash).
+//
+// Signal handlers may only call async-signal-safe functions, so nothing can
+// be *formatted* inside the handler. Instead the FlightRecorder (or any
+// caller) keeps a fully pre-rendered report body registered via
+// set_crash_body(): a JSON object rendered WITHOUT its closing brace. The
+// handler just write(2)s the active body and appends
+// `,"signal":"SIGSEGV","signo":11}` with hand-rolled decimal formatting.
+// Bodies double-buffer behind an atomic index — the renderer fills the
+// inactive slot and flips, the handler only ever reads the active slot, and
+// retired bodies are kept alive so a handler racing a flip still reads valid
+// memory.
+//
+// install time renders a minimal body (schema + build info) so a crash
+// before the first flight-recorder tick still produces a parseable report.
+#pragma once
+
+#include <string>
+
+namespace repro::obs {
+
+/// Install the fatal-signal handlers writing reports into `dir` (created if
+/// missing). Safe to call again to change the directory. Throws
+/// CompressionError when the directory cannot be created.
+void install_crash_handler(const std::string& dir);
+
+bool crash_handler_installed();
+
+/// Register the pre-rendered report body: a JSON object WITHOUT the final
+/// closing '}' (the handler appends the signal fields and the brace).
+/// Thread-safe against the handler; call from one renderer thread at a time.
+void set_crash_body(const std::string& body_without_closing_brace);
+
+/// The minimal body installed before any flight-recorder tick: schema,
+/// build info, pid. Returned without the closing brace.
+std::string minimal_crash_body();
+
+/// The path the handler would write for this process (for tests and smoke
+/// scripts); empty when no handler is installed.
+std::string crash_report_path();
+
+}  // namespace repro::obs

@@ -1,0 +1,106 @@
+#include "obs/watchdog.hpp"
+
+#include <chrono>
+#include <cstring>
+
+#include "obs/event_log.hpp"
+#include "obs/json.hpp"
+
+namespace repro::obs {
+
+Watchdog& Watchdog::global() {
+  static Watchdog* w = new Watchdog();  // leaked: alive for any late worker
+  return *w;
+}
+
+u64 Watchdog::now_ns() {
+  return static_cast<u64>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                              std::chrono::steady_clock::now().time_since_epoch())
+                              .count());
+}
+
+int Watchdog::register_slot(const std::string& name) {
+  const int id = slot_count_.fetch_add(1, std::memory_order_relaxed);
+  if (id >= kMaxSlots) {
+    slot_count_.store(kMaxSlots, std::memory_order_relaxed);
+    return -1;
+  }
+  Slot& s = slots_[id];
+  std::strncpy(s.name, name.c_str(), sizeof(s.name) - 1);
+  s.name[sizeof(s.name) - 1] = '\0';
+  return id;
+}
+
+void Watchdog::arm(u64 threshold_ms) {
+  threshold_ns_.store(threshold_ms * 1000000, std::memory_order_relaxed);
+}
+
+void Watchdog::begin(int slot, u64 detail) {
+  if (slot < 0 || slot >= kMaxSlots) return;
+  Slot& s = slots_[slot];
+  s.detail.store(detail, std::memory_order_relaxed);
+  s.generation.fetch_add(1, std::memory_order_relaxed);
+  // start_ns is the checker's "busy" flag: publish it last.
+  s.start_ns.store(now_ns(), std::memory_order_release);
+}
+
+void Watchdog::end(int slot) {
+  if (slot < 0 || slot >= kMaxSlots) return;
+  slots_[slot].start_ns.store(0, std::memory_order_release);
+}
+
+std::vector<Watchdog::Stall> Watchdog::check() {
+  std::vector<Stall> out;
+  const u64 threshold = threshold_ns_.load(std::memory_order_relaxed);
+  if (threshold == 0) return out;
+  const u64 now = now_ns();
+  const int n = std::min(slot_count_.load(std::memory_order_relaxed), kMaxSlots);
+  for (int i = 0; i < n; ++i) {
+    Slot& s = slots_[i];
+    const u64 start = s.start_ns.load(std::memory_order_acquire);
+    if (start == 0 || now - start <= threshold) continue;
+    const u64 gen = s.generation.load(std::memory_order_relaxed);
+    if (s.reported.load(std::memory_order_relaxed) == gen) continue;  // already flagged
+    // Re-check busyness after reading the generation: if the unit finished
+    // in between, the next begin() bumps the generation and stays eligible.
+    if (s.start_ns.load(std::memory_order_acquire) != start) continue;
+    s.reported.store(gen, std::memory_order_relaxed);
+    Stall st;
+    st.slot = s.name;
+    st.busy_ms = (now - start) / 1000000;
+    st.detail = s.detail.load(std::memory_order_relaxed);
+    out.push_back(st);
+  }
+  if (!out.empty()) {
+    stalls_.fetch_add(out.size(), std::memory_order_relaxed);
+    EventLog& log = EventLog::global();
+    for (const Stall& st : out) {
+      if (!log.would_log(LogLevel::Warn)) break;
+      JsonWriter w;
+      w.begin_object();
+      w.kv("slot", st.slot);
+      w.kv("busy_ms", static_cast<unsigned long long>(st.busy_ms));
+      w.kv("threshold_ms", static_cast<unsigned long long>(threshold / 1000000));
+      w.kv("detail", static_cast<unsigned long long>(st.detail));
+      w.end_object();
+      log.emit(LogLevel::Warn, "stall", w.take());
+    }
+  }
+  return out;
+}
+
+void Watchdog::reset_for_tests() {
+  threshold_ns_.store(0, std::memory_order_relaxed);
+  const int n = std::min(slot_count_.load(std::memory_order_relaxed), kMaxSlots);
+  for (int i = 0; i < n; ++i) {
+    slots_[i].start_ns.store(0, std::memory_order_relaxed);
+    slots_[i].generation.store(0, std::memory_order_relaxed);
+    slots_[i].reported.store(0, std::memory_order_relaxed);
+    slots_[i].detail.store(0, std::memory_order_relaxed);
+    slots_[i].name[0] = '\0';
+  }
+  slot_count_.store(0, std::memory_order_relaxed);
+  stalls_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace repro::obs

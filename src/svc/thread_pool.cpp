@@ -4,6 +4,7 @@
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "obs/watchdog.hpp"
 
 namespace repro::svc {
 namespace {
@@ -96,6 +97,12 @@ bool ThreadPool::try_steal(unsigned self, Task& out) {
 }
 
 void ThreadPool::worker_loop(unsigned self) {
+  // Watchdog slot for stall detection: one per worker, marked busy around
+  // each task. Slots are process-global and never recycled; once the table
+  // fills (many short-lived pools in one test process) later workers get -1
+  // and StallScope goes inert, which only costs them stall coverage.
+  const int wd_slot =
+      obs::Watchdog::global().register_slot("svc.worker." + std::to_string(self));
   for (;;) {
     Task task;
     bool got = try_pop_own(self, task);
@@ -129,15 +136,21 @@ void ThreadPool::worker_loop(unsigned self) {
       if (task.enqueue_ns && run_t0 >= task.enqueue_ns)
         PoolMetrics::get().task_wait_us.record((run_t0 - task.enqueue_ns) / 1000);
     }
-    if (run_t0) {
-      // Re-install the submitter's trace context for the task's duration so
-      // every span it opens (and the task span itself) is tagged with the
-      // originating request id.
-      obs::TraceContext::Scope ctx(task.trace_ctx);
-      obs::ScopedSpan span("svc.pool.task");
-      task.fn();
-    } else {
-      task.fn();
+    {
+      // The stall scope brackets exactly one task: a worker flagged by the
+      // watchdog has been inside this block — i.e. inside task.fn() — past
+      // the threshold. `detail` carries the originating request id.
+      obs::StallScope stall(wd_slot, task.trace_ctx);
+      if (run_t0) {
+        // Re-install the submitter's trace context for the task's duration so
+        // every span it opens (and the task span itself) is tagged with the
+        // originating request id.
+        obs::TraceContext::Scope ctx(task.trace_ctx);
+        obs::ScopedSpan span("svc.pool.task");
+        task.fn();
+      } else {
+        task.fn();
+      }
     }
     if (run_t0)
       PoolMetrics::get().task_run_us.record(

@@ -420,3 +420,91 @@ TEST_F(CliTest, PackListUnpackRoundTrip) {
   fs::remove_all(outdir);
   fs::remove_all(outdir2);
 }
+
+// ------------------------------------------------- pfpl top rate windows ---
+
+#include "cli/top_window.hpp"
+
+namespace {
+
+cli::TopSample sample_at(double t, double req, double rx, double tx) {
+  cli::TopSample s;
+  s.t = t;
+  s.req = req;
+  s.bytes_rx = rx;
+  s.bytes_tx = tx;
+  return s;
+}
+
+}  // namespace
+
+TEST(TopWindow, ComputesRatesFromCounterDeltas) {
+  cli::TopSample a = sample_at(10.0, 100, 1e6, 2e6);
+  cli::TopSample b = sample_at(12.0, 150, 3e6, 6e6);
+  b.hits = 30;
+  b.misses = 10;
+  cli::TopWindow w = cli::compute_window(a, b, 2.0);
+  EXPECT_FALSE(w.reset);
+  EXPECT_DOUBLE_EQ(w.dt, 2.0);
+  EXPECT_DOUBLE_EQ(w.rps, 25.0);
+  EXPECT_DOUBLE_EQ(w.rx_mbps, 1.0);
+  EXPECT_DOUBLE_EQ(w.tx_mbps, 2.0);
+  EXPECT_TRUE(w.have_hit);
+  EXPECT_DOUBLE_EQ(w.hit_pct, 75.0);
+}
+
+TEST(TopWindow, ServerRestartReAnchorsInsteadOfNegativeRates) {
+  // A restarted server's counters re-start at zero: the raw delta would be
+  // hugely negative. The window must flag the reset and zero the rates.
+  cli::TopSample before = sample_at(10.0, 5000, 8e8, 9e8);
+  cli::TopSample after = sample_at(12.0, 12, 1e4, 2e4);  // fresh process
+  after.has_hist = true;
+  after.p50 = 40;
+  after.p95 = 90;
+  after.p99 = 99;
+  cli::TopWindow w = cli::compute_window(before, after, 2.0);
+  EXPECT_TRUE(w.reset);
+  EXPECT_DOUBLE_EQ(w.rps, 0.0);
+  EXPECT_DOUBLE_EQ(w.rx_mbps, 0.0);
+  // Lifetime quantiles of the NEW process are still meaningful.
+  EXPECT_DOUBLE_EQ(w.p50, 40);
+  EXPECT_DOUBLE_EQ(w.p99, 99);
+
+  // Histogram bucket shrink alone is also a reset, even when the scalar
+  // counters happen to have caught back up.
+  cli::TopSample h1 = sample_at(1.0, 10, 0, 0);
+  h1.has_hist = true;
+  h1.bounds = {10, 100};
+  h1.buckets = {5, 3, 1};
+  cli::TopSample h2 = sample_at(2.0, 20, 0, 0);
+  h2.has_hist = true;
+  h2.bounds = {10, 100};
+  h2.buckets = {2, 0, 0};
+  EXPECT_TRUE(cli::counters_went_backwards(h1, h2));
+  EXPECT_TRUE(cli::compute_window(h1, h2, 1.0).reset);
+}
+
+TEST(TopWindow, WindowedQuantilesFromBucketDeltas) {
+  cli::TopSample a = sample_at(0.0, 0, 0, 0);
+  a.has_hist = true;
+  a.bounds = {10, 100, 1000};
+  a.buckets = {0, 0, 0, 0};
+  cli::TopSample b = sample_at(1.0, 10, 0, 0);
+  b.has_hist = true;
+  b.bounds = a.bounds;
+  b.buckets = {8, 1, 1, 0};  // 10 new samples this window
+  cli::TopWindow w = cli::compute_window(a, b, 1.0);
+  EXPECT_DOUBLE_EQ(w.p50, 10);    // 5th sample in the first bucket
+  EXPECT_DOUBLE_EQ(w.p95, 1000);  // 9.5th sample lands in the third bucket
+  // Idle window (no new samples): fall back to lifetime quantiles.
+  cli::TopSample c = b;
+  c.t = 2.0;
+  c.p50 = 12;
+  c.p95 = 120;
+  c.p99 = 800;
+  cli::TopWindow idle = cli::compute_window(b, c, 1.0);
+  EXPECT_DOUBLE_EQ(idle.p50, 12);
+  EXPECT_DOUBLE_EQ(idle.p95, 120);
+  // Empty-delta quantile helper reports "unavailable" rather than a bound.
+  EXPECT_DOUBLE_EQ(cli::bucket_quantile({10, 100}, {0, 0, 0}, 0.5), -1);
+}

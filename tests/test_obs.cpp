@@ -495,6 +495,48 @@ TEST(ObsExposition, MetricsJsonDocParsesWithExtras) {
   EXPECT_TRUE(bare.has("metrics"));
 }
 
+TEST(ObsExposition, ZeroObservationHistogramStaysWellFormed) {
+  // A histogram family that was registered but never recorded (a server that
+  // saw no slow requests, a decode-only run) must still expose a complete,
+  // parseable family — zero buckets, zero count — not a truncated one.
+  ObsGuard guard(true);
+  auto& reg = obs::MetricsRegistry::global();
+  (void)reg.histogram("expo.empty_us", {10, 100});
+
+  const std::string text = obs::prometheus_text();
+  EXPECT_NE(text.find("pfpl_expo_empty_us_bucket{le=\"10\"} 0"), std::string::npos);
+  EXPECT_NE(text.find("pfpl_expo_empty_us_bucket{le=\"+Inf\"} 0"), std::string::npos);
+  EXPECT_NE(text.find("pfpl_expo_empty_us_count 0"), std::string::npos);
+  EXPECT_NE(text.find("pfpl_expo_empty_us_sum 0"), std::string::npos);
+
+  // JSON side: count 0, no min/max/mean/pXX keys (they would be lies), but
+  // bounds + buckets present so a scraper can still learn the layout.
+  obs::JsonValue v = obs::parse_json(obs::metrics_json_doc());
+  const obs::JsonValue& h = v.at("metrics").at("histograms").at("expo.empty_us");
+  EXPECT_DOUBLE_EQ(h.at("count").num, 0);
+  EXPECT_FALSE(h.has("p50"));
+  EXPECT_FALSE(h.has("mean"));
+  ASSERT_EQ(h.at("bounds").arr.size(), 2u);
+  ASSERT_EQ(h.at("buckets").arr.size(), 3u);
+}
+
+TEST(ObsExposition, GaugeExposesCurrentAndPeakSeparately) {
+  ObsGuard guard(true);
+  auto& reg = obs::MetricsRegistry::global();
+  obs::Gauge& g = reg.gauge("expo.peaky.depth");
+  g.set(10);
+  g.set(3);  // current drops, peak must not
+
+  const std::string text = obs::prometheus_text();
+  EXPECT_NE(text.find("pfpl_expo_peaky_depth 3"), std::string::npos);
+  EXPECT_NE(text.find("pfpl_expo_peaky_depth_peak 10"), std::string::npos);
+
+  obs::JsonValue v = obs::parse_json(obs::metrics_json_doc());
+  const obs::JsonValue& gj = v.at("metrics").at("gauges").at("expo.peaky.depth");
+  EXPECT_DOUBLE_EQ(gj.at("value").num, 3);
+  EXPECT_DOUBLE_EQ(gj.at("peak").num, 10);
+}
+
 // ------------------------------------------------------------ event log ----
 
 TEST(ObsEventLog, LevelNamesRoundTrip) {
