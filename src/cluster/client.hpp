@@ -1,0 +1,103 @@
+// ClusterClient — route PFPN requests across a sharded pfpld cluster.
+//
+// One ClusterClient holds the shard map plus one lazily-opened net::Client
+// per node, and routes every COMPRESS/DECOMPRESS by its 128-bit content key
+// (the same store::compress_key / decompress_key the server's dedup store
+// uses, so client and server always agree on ownership). Failure handling,
+// per attempt:
+//
+//   * transport error / Draining  — fail over to the next replica in the
+//     key's R-way list; when a whole sweep over the replicas fails, sleep a
+//     jittered exponential backoff and sweep again (Options::sweeps bounds
+//     the total), then give up with NetError.
+//   * Status::WrongShard          — this client's map is stale. Refetch the
+//     map from the refusing node (SHARDMAP exchange, offering ours so a
+//     stale *server* can catch up too), re-route under the new epoch, and
+//     retry; bounded per request so two confused peers cannot ping-pong.
+//   * any other RemoteError       — the shard owner answered and said no;
+//     propagated unchanged, never retried (same contract as net::Client).
+//
+// Per-node clients run with a single attempt (fail fast): the replica list
+// IS the retry policy at this layer.
+//
+// Thread safety: none — one ClusterClient per thread, like net::Client.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <unordered_map>
+
+#include "cluster/shard_map.hpp"
+#include "common/types.hpp"
+#include "net/backoff.hpp"
+#include "net/client.hpp"
+
+namespace repro::cluster {
+
+class ClusterClient {
+ public:
+  struct Options {
+    ShardMap map;  ///< initial shard map; must be non-empty
+    int connect_timeout_ms = 5000;
+    int request_timeout_ms = 120000;
+    /// Attempts per node per sweep (net::Client::max_attempts). 1 = fail
+    /// fast and let the replica list handle it — the right default.
+    unsigned node_attempts = 1;
+    /// Full passes over a key's replica list before giving up.
+    unsigned sweeps = 3;
+    /// Jittered exponential backoff between sweeps (net/backoff.hpp).
+    int backoff_base_ms = 15;
+    int backoff_max_ms = 1000;
+    std::size_t max_response_payload = 1u << 30;
+  };
+
+  /// Counters over this client's lifetime. Plain (not atomic): a
+  /// ClusterClient is single-threaded; aggregate across instances yourself.
+  struct Stats {
+    u64 requests = 0;       ///< successfully answered data requests
+    u64 failovers = 0;      ///< replicas skipped on transport error/draining
+    u64 retries = 0;        ///< extra sweeps after the first failed
+    u64 map_refreshes = 0;  ///< newer-epoch maps adopted
+    u64 wrong_shard = 0;    ///< WrongShard refusals observed
+    /// Successful data requests per node id (who actually answered).
+    std::map<std::string, u64> node_requests;
+  };
+
+  /// Throws CompressionError when opts.map is empty.
+  explicit ClusterClient(Options opts);
+
+  /// Compress/decompress with key-based routing; signatures and payload
+  /// semantics identical to net::Client.
+  Bytes compress(const void* raw, std::size_t n, DType dtype, EbType eb, double eps);
+  std::vector<u8> decompress(const Bytes& stream);
+
+  /// HEALTH of one node by id (throws CompressionError on unknown id,
+  /// NetError/RemoteError as net::Client would).
+  std::string health(const std::string& node_id);
+
+  /// Ask every node for its map, newest epoch wins; returns true when a
+  /// newer map than ours was adopted. Throws NetError only when *no* node
+  /// answered.
+  bool refresh_map();
+
+  const ShardMap& map() const { return map_; }
+  const Stats& stats() const { return stats_; }
+  std::string stats_json() const;
+
+ private:
+  net::Client& client_for(u32 node_index);
+  /// SHARDMAP exchange with one node; adopt + return true on newer epoch.
+  bool refresh_from(net::Client& c);
+  void adopt(ShardMap fresh);
+  Bytes routed(const common::Hash128& key,
+               const std::function<Bytes(net::Client&)>& op);
+
+  Options opts_;
+  ShardMap map_;
+  Stats stats_;
+  std::unordered_map<std::string, net::Client> clients_;  ///< by node id
+  net::BackoffJitter jitter_;
+};
+
+}  // namespace repro::cluster

@@ -1,0 +1,104 @@
+// ShardMap — the consistent-hash ring that partitions the 128-bit content-
+// hash keyspace across pfpld nodes.
+//
+// Every node contributes `vnodes` points on a 64-bit ring, each point the
+// MurmurHash of "<node_id>#<vnode>". A key routes to the first point at or
+// after its own hash (wrapping), and its R-way replica list is the next R
+// *distinct* nodes walking clockwise — so when one node joins or leaves,
+// only the keys whose arc it gained or lost move (~1/N of the keyspace),
+// and everything else keeps its owner. With >=128 vnodes per node the
+// per-node share of the keyspace concentrates within a few percent of 1/N
+// (tests/test_cluster.cpp pins ±15%).
+//
+// A map is immutable after construction; membership changes produce a new
+// map with the epoch bumped. The epoch is the cluster's generation number:
+// servers reject requests for keys they do not own under their current map
+// (Status::WrongShard) and clients react by refetching the map (SHARDMAP op)
+// — epoch comparison decides who is stale.
+//
+// Serialization ("PFSM", docs/FORMAT.md) is deterministic: nodes are stored
+// sorted by id, integers little-endian, and the whole body is covered by the
+// same CRC-32 the PFPA archive and PFPN frames use. serialize() of parse()
+// is byte-identical, so maps can be compared, content-addressed, and diffed
+// across machines.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/hash.hpp"
+#include "common/types.hpp"
+
+namespace repro::cluster {
+
+/// One pfpld node: a stable identity plus where to reach it.
+struct NodeInfo {
+  std::string id;    ///< unique within the cluster, e.g. "n0"
+  std::string host;  ///< connect address for clients
+  u16 port = 0;
+};
+
+class ShardMap {
+ public:
+  static constexpr u32 kDefaultVnodes = 128;
+  static constexpr u16 kDefaultReplicas = 2;
+
+  /// Empty map: no nodes, epoch 0. route() on an empty map throws.
+  ShardMap() = default;
+
+  /// Throws CompressionError on duplicate/empty node ids, zero vnodes, or
+  /// zero replicas. `replicas` is clamped to the node count at route time.
+  ShardMap(std::string cluster_id, std::vector<NodeInfo> nodes,
+           u32 vnodes = kDefaultVnodes, u16 replicas = kDefaultReplicas,
+           u64 epoch = 1);
+
+  const std::string& cluster_id() const { return cluster_id_; }
+  u64 epoch() const { return epoch_; }
+  u16 replicas() const { return replicas_; }
+  u32 vnodes() const { return vnodes_; }
+  const std::vector<NodeInfo>& nodes() const { return nodes_; }
+  std::size_t size() const { return nodes_.size(); }
+  bool empty() const { return nodes_.empty(); }
+
+  /// Index into nodes() for `id`, or -1.
+  int find_node(const std::string& id) const;
+
+  /// The replica list for a key: min(replicas, size) distinct node indices,
+  /// primary first, in ring order. Deterministic for a given map.
+  std::vector<u32> route(const common::Hash128& key) const;
+  /// route(key)[0].
+  u32 primary(const common::Hash128& key) const;
+  /// Whether node `node_index` appears in route(key). Negative = false.
+  bool owns(const common::Hash128& key, int node_index) const;
+
+  /// Membership changes return a new map with epoch + 1 and the same
+  /// cluster_id/vnodes/replicas. Throws on duplicate add / unknown remove.
+  ShardMap with_node_added(NodeInfo node) const;
+  ShardMap with_node_removed(const std::string& id) const;
+
+  /// Deterministic PFSM serialization (docs/FORMAT.md §PFSM).
+  Bytes serialize() const;
+  /// Throws CompressionError on bad magic/version, truncation, or CRC
+  /// mismatch.
+  static ShardMap parse(const void* data, std::size_t n);
+  static ShardMap parse(const Bytes& b) { return parse(b.data(), b.size()); }
+
+  static ShardMap load_file(const std::string& path);
+  void save_file(const std::string& path) const;
+
+  /// Human-readable summary (obs-style JSON object; not the wire format).
+  std::string json() const;
+
+ private:
+  void build_ring();
+
+  std::string cluster_id_;
+  std::vector<NodeInfo> nodes_;  ///< sorted by id
+  u32 vnodes_ = kDefaultVnodes;
+  u16 replicas_ = kDefaultReplicas;
+  u64 epoch_ = 0;
+  /// (ring point, node index), sorted by point.
+  std::vector<std::pair<u64, u32>> ring_;
+};
+
+}  // namespace repro::cluster

@@ -5,8 +5,11 @@
 #include <chrono>
 #include <cstring>
 
+#include <thread>
+
 #include "common/checksum.hpp"
 #include "common/hash.hpp"
+#include "net/backoff.hpp"
 #include "obs/metrics.hpp"
 
 namespace repro::net {
@@ -107,25 +110,32 @@ Frame Client::roundtrip_once(const FrameHeader& h, const void* payload, std::siz
 
 Frame Client::roundtrip(const FrameHeader& base, const void* payload, std::size_t n) {
   FrameHeader h = base;
-  h.request_id = fresh_id();
   const u64 t0 = now_us();
-  try {
-    Frame f = roundtrip_once(h, payload, n);
-    ++requests_;
-    client_request_us().record(now_us() - t0);
-    return f;
-  } catch (const RemoteError&) {
-    throw;  // the server answered; retrying would repeat the same refusal
-  } catch (const NetError&) {
-    if (!opts_.retry) throw;
-    // Transport failure: the connection state is unknown, so drop it and
-    // retry exactly once on a fresh one (requests are pure => idempotent).
-    sock_.close();
+  const unsigned attempts = opts_.retry ? std::max(opts_.max_attempts, 1u) : 1;
+  // Jitter state seeded from the client's id stream: deterministic per
+  // client, decorrelated across clients (fresh_id() seeds from pid/clock/
+  // address).
+  BackoffJitter jitter(next_id_ ^ 0xC2B2AE3D27D4EB4Full);
+  for (unsigned attempt = 1;; ++attempt) {
     h.request_id = fresh_id();
-    Frame f = roundtrip_once(h, payload, n);
-    ++requests_;
-    client_request_us().record(now_us() - t0);
-    return f;
+    try {
+      ++attempts_;
+      Frame f = roundtrip_once(h, payload, n);
+      ++requests_;
+      client_request_us().record(now_us() - t0);
+      return f;
+    } catch (const RemoteError&) {
+      throw;  // the server answered; retrying would repeat the same refusal
+    } catch (const NetError&) {
+      // Transport failure: the connection state is unknown, so drop it and
+      // retry on a fresh one (requests are pure => idempotent), backing off
+      // between attempts so a dead server is not hammered in a tight loop.
+      sock_.close();
+      if (attempt >= attempts) throw;
+      const int ms =
+          backoff_ms(attempt, opts_.backoff_base_ms, opts_.backoff_max_ms, jitter);
+      if (ms > 0) std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+    }
   }
 }
 
@@ -167,6 +177,19 @@ void Client::ping() {
   FrameHeader h;
   h.op = static_cast<u8>(Op::Ping);
   roundtrip(h, nullptr, 0);
+}
+
+Bytes Client::shardmap_fetch(const Bytes& mine) {
+  FrameHeader h;
+  h.op = static_cast<u8>(Op::ShardMap);
+  return roundtrip(h, mine.data(), mine.size()).payload;
+}
+
+std::string Client::health() {
+  FrameHeader h;
+  h.op = static_cast<u8>(Op::Health);
+  Frame f = roundtrip(h, nullptr, 0);
+  return std::string(f.payload.begin(), f.payload.end());
 }
 
 void Client::shutdown_server() {

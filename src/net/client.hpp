@@ -9,7 +9,10 @@
 //   * NetError      — transport trouble (connect/send/recv failure, timeout,
 //                     peer closed). Because every PFPN request is a pure
 //                     function of its payload, the client reconnects and
-//                     retries ONCE before giving up (Options::retry).
+//                     retries up to Options::max_attempts total attempts,
+//                     sleeping an exponentially growing, jittered backoff
+//                     between them (defaults keep the historical behavior:
+//                     one immediate retry).
 //
 // Thread safety: a Client is a single connection with request/response
 // framing — use one Client per thread (the load generator does exactly
@@ -31,7 +34,16 @@ class Client {
     u16 port = 0;
     int connect_timeout_ms = 5000;
     int request_timeout_ms = 120000;  ///< per send/recv wait, not per byte
-    bool retry = true;                ///< retry once on reconnect
+    bool retry = true;                ///< false = exactly one attempt, ever
+    /// Total attempts per request (first try included) while `retry` is
+    /// true. The default matches the old hard-coded retry-once.
+    unsigned max_attempts = 2;
+    /// Backoff before retry k (1-based): min(backoff_base_ms << (k-1),
+    /// backoff_max_ms), scaled by a uniform jitter in [0.5, 1.5) so a fleet
+    /// of clients does not reconnect in lockstep. 0 = immediate (the old
+    /// behavior).
+    int backoff_base_ms = 0;
+    int backoff_max_ms = 2000;
     std::size_t max_response_payload = 1u << 30;
   };
 
@@ -62,12 +74,22 @@ class Client {
   /// Round-trip an empty PING (connectivity + liveness check).
   void ping();
 
+  /// Fetch the server's shard map (SHARDMAP op), optionally offering `mine`
+  /// — a serialized map the server adopts when it carries a higher epoch of
+  /// the same cluster. Returns the server's current serialized map (PFSM).
+  Bytes shardmap_fetch(const Bytes& mine = Bytes());
+
+  /// The HEALTH op: the node's liveness + load snapshot as JSON.
+  std::string health();
+
   /// Ask the server to drain and exit. The OK response is sent before the
   /// server stops, so this returning means the drain has begun.
   void shutdown_server();
 
   /// Requests completed over this client's lifetime (including retries).
   u64 requests() const { return requests_; }
+  /// Wire attempts made (each retry counts; RemoteError answers count once).
+  u64 attempts() const { return attempts_; }
   /// Reconnects performed after the initial connect.
   u64 reconnects() const { return reconnects_; }
   /// The request_id the most recent round trip was sent with (0 before the
@@ -86,6 +108,7 @@ class Client {
   u64 next_id_ = 0;  ///< 0 = unseeded; fresh_id() seeds per client instance
   u64 last_id_ = 0;
   u64 requests_ = 0;
+  u64 attempts_ = 0;
   u64 reconnects_ = 0;
   bool ever_connected_ = false;
 };

@@ -62,6 +62,8 @@ const char* to_string(Op op) {
     case Op::Ping: return "PING";
     case Op::Shutdown: return "SHUTDOWN";
     case Op::Metrics: return "METRICS";
+    case Op::ShardMap: return "SHARDMAP";
+    case Op::Health: return "HEALTH";
   }
   return "?";
 }
@@ -75,6 +77,7 @@ const char* to_string(Status st) {
     case Status::CompressFailed: return "CompressFailed";
     case Status::TooLarge: return "TooLarge";
     case Status::Draining: return "Draining";
+    case Status::WrongShard: return "WrongShard";
   }
   return nullptr;
 }

@@ -62,6 +62,10 @@ enum class Op : u8 {
   Shutdown = 5,    ///< begin graceful drain; response: empty payload
   Metrics = 6,     ///< payload: "" or "json" for JSON, "prom" for Prometheus
                    ///< text; response payload: the rendered metrics document
+  ShardMap = 7,    ///< payload: "" or the caller's serialized shard map (the
+                   ///< server adopts a higher epoch); response payload: the
+                   ///< server's current serialized map (PFSM, docs/FORMAT.md)
+  Health = 8,      ///< empty payload; response payload: liveness + load JSON
 };
 
 inline constexpr u8 kResponseBit = 0x80;
@@ -75,6 +79,8 @@ enum class Status : u16 {
   CompressFailed = 4,  ///< the compressor rejected the request (error text)
   TooLarge = 5,        ///< declared payload_len over the server's limit
   Draining = 6,        ///< server is draining; request rejected
+  WrongShard = 7,      ///< key not owned by this node under its shard-map
+                       ///< epoch — refetch the map (SHARDMAP) and re-route
 };
 
 const char* to_string(Op op);

@@ -1,5 +1,6 @@
 #include "net/server.hpp"
 
+#include <fcntl.h>
 #include <poll.h>
 #include <sys/socket.h>
 #include <netinet/in.h>
@@ -16,10 +17,12 @@
 #include <deque>
 #include <map>
 #include <mutex>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
 #include "ingest/pipeline.hpp"
+#include "net/poller.hpp"
 #include "obs/crash.hpp"
 #include "obs/event_log.hpp"
 #include "obs/exposition.hpp"
@@ -47,6 +50,7 @@ struct NetMetrics {
   obs::Counter& store_misses;
   obs::Counter& slow_requests;
   obs::Counter& metrics_scrapes;
+  obs::Counter& accept_overloads;
   obs::Gauge& connections;
   obs::Gauge& inflight_bytes;
   obs::Histogram& request_us;
@@ -65,6 +69,7 @@ struct NetMetrics {
                         r.counter("net.store_misses"),
                         r.counter("net.slow_requests"),
                         r.counter("net.metrics_scrapes"),
+                        r.counter("net.accept_overloads"),
                         r.gauge("net.connections"),
                         r.gauge("net.inflight_bytes"),
                         r.histogram("net.request_us"),
@@ -72,6 +77,30 @@ struct NetMetrics {
                         r.histogram("net.decompress_us")};
     return m;
   }
+};
+
+/// Server-side cluster.node.* handles (the client-side cluster.* counters
+/// live in cluster/client.cpp).
+struct ClusterMetrics {
+  obs::Counter& wrong_shard;
+  obs::Counter& map_exchanges;
+  obs::Counter& map_adopted;
+  obs::Counter& health_checks;
+  static ClusterMetrics& get() {
+    auto& r = obs::MetricsRegistry::global();
+    static ClusterMetrics m{r.counter("cluster.node.wrong_shard"),
+                            r.counter("cluster.node.map_exchanges"),
+                            r.counter("cluster.node.map_adopted"),
+                            r.counter("cluster.node.health_checks")};
+    return m;
+  }
+};
+
+/// Thrown by the worker-side ownership check; turned into a typed
+/// Status::WrongShard error frame (never retried on the same node — the
+/// client refetches the shard map and re-routes).
+struct WrongShardError : std::runtime_error {
+  using std::runtime_error::runtime_error;
 };
 
 u64 now_ns() {
@@ -174,6 +203,24 @@ struct Server::Impl {
   u64 drain_deadline_ns = 0;
   u64 start_ns = now_ns();
 
+  /// Readiness backend, alive only while run() is on the loop thread.
+  std::unique_ptr<Poller> poller;
+  /// Which backend run() actually got (atomic: stats_json readers race the
+  /// loop thread that creates the Poller).
+  std::atomic<bool> epoll_active{false};
+  /// EMFILE headroom: one fd held in reserve so an exhausted server can
+  /// still accept-and-close the pending connection instead of leaving it
+  /// dangling in the backlog (see shed_accept()).
+  int reserve_fd = -1;
+
+  /// Cluster identity. `map` null = not clustered. Written on the loop
+  /// thread (SHARDMAP adoption) or via set_cluster(); read by workers as an
+  /// immutable snapshot, so the mutex only covers the pointer swap.
+  mutable std::mutex map_m;
+  std::shared_ptr<const cluster::ShardMap> map;
+  int self_index = -1;
+  std::string node_id;
+
   std::atomic<bool> stop_requested{false};
   std::mutex comp_m;
   std::vector<Completion> completions;
@@ -192,6 +239,8 @@ struct Server::Impl {
     std::atomic<u64> errors{0}, store_hits{0}, store_misses{0};
     std::atomic<u64> inflight_bytes{0}, peak_inflight_bytes{0};
     std::atomic<u64> slow_requests{0}, metrics_scrapes{0};
+    std::atomic<u64> accept_overloads{0};
+    std::atomic<u64> wrong_shard{0}, map_exchanges{0}, map_adopted{0}, health_checks{0};
     std::atomic<bool> draining{false};
   } st;
 
@@ -207,7 +256,9 @@ struct Server::Impl {
     wake_w = fds[1];
     set_nonblocking(wake_r, true);
     set_nonblocking(wake_w, true);
+    reserve_fd = ::open("/dev/null", O_RDONLY | O_CLOEXEC);
     pool = std::make_unique<svc::ThreadPool>(o.threads, o.queue_capacity);
+    if (!o.shard_map.empty()) install_map(o.shard_map, o.node_id);
   }
 
   ~Impl() {
@@ -216,6 +267,50 @@ struct Server::Impl {
     pool.reset();
     if (wake_r >= 0) ::close(wake_r);
     if (wake_w >= 0) ::close(wake_w);
+    if (reserve_fd >= 0) ::close(reserve_fd);
+  }
+
+  // -- cluster membership ---------------------------------------------------
+
+  /// Everything a worker needs to answer the ownership question, captured
+  /// atomically (map pointer + the node's index and id under that map).
+  struct ClusterView {
+    std::shared_ptr<const cluster::ShardMap> map;
+    int self = -1;
+    std::string node_id;
+  };
+
+  ClusterView cluster_view() const {
+    std::lock_guard<std::mutex> lk(map_m);
+    return ClusterView{map, self_index, node_id};
+  }
+
+  /// Adopt `m` as this node's shard map. An empty node-id hint resolves by
+  /// matching the bound port against the map (the common single-host case);
+  /// throws NetError when nothing or more than one node matches.
+  void install_map(const cluster::ShardMap& m, const std::string& node_id_hint) {
+    std::string nid = node_id_hint;
+    if (nid.empty()) {
+      const u16 p = local_port(listen);
+      int match = -1;
+      for (std::size_t i = 0; i < m.nodes().size(); ++i) {
+        if (m.nodes()[i].port != p) continue;
+        if (match >= 0)
+          throw NetError("net: several shard-map nodes listen on port " +
+                         std::to_string(p) + "; pass an explicit node id");
+        match = static_cast<int>(i);
+      }
+      if (match < 0)
+        throw NetError("net: no shard-map node listens on port " + std::to_string(p) +
+                       "; pass an explicit node id");
+      nid = m.nodes()[static_cast<std::size_t>(match)].id;
+    } else if (m.find_node(nid) < 0) {
+      throw NetError("net: node id '" + nid + "' is not in the shard map");
+    }
+    std::lock_guard<std::mutex> lk(map_m);
+    map = std::make_shared<cluster::ShardMap>(m);
+    node_id = nid;
+    self_index = map->find_node(nid);
   }
 
   void wake() {
@@ -242,6 +337,11 @@ struct Server::Impl {
     out.peak_inflight_bytes = st.peak_inflight_bytes.load(std::memory_order_relaxed);
     out.slow_requests = st.slow_requests.load(std::memory_order_relaxed);
     out.metrics_scrapes = st.metrics_scrapes.load(std::memory_order_relaxed);
+    out.accept_overloads = st.accept_overloads.load(std::memory_order_relaxed);
+    out.wrong_shard = st.wrong_shard.load(std::memory_order_relaxed);
+    out.map_exchanges = st.map_exchanges.load(std::memory_order_relaxed);
+    out.map_adopted = st.map_adopted.load(std::memory_order_relaxed);
+    out.health_checks = st.health_checks.load(std::memory_order_relaxed);
     out.draining = st.draining.load(std::memory_order_relaxed);
     return out;
   }
@@ -273,6 +373,11 @@ struct Server::Impl {
     w.kv("inflight_bytes", static_cast<unsigned long long>(s.inflight_bytes));
     w.kv("peak_inflight_bytes", static_cast<unsigned long long>(s.peak_inflight_bytes));
     w.kv("metrics_scrapes", static_cast<unsigned long long>(s.metrics_scrapes));
+    w.kv("accept_overloads", static_cast<unsigned long long>(s.accept_overloads));
+    w.kv("event_backend",
+         epoll_active.load(std::memory_order_relaxed) ? "epoll" : "poll");
+    if (opts.max_conns)
+      w.kv("max_conns", static_cast<unsigned long long>(opts.max_conns));
     w.kv("slow_ms", opts.slow_ms);
     w.kv("slow_requests_captured", static_cast<unsigned long long>(s.slow_requests));
     w.key("slow_requests").raw(slow_json());
@@ -281,6 +386,45 @@ struct Server::Impl {
       w.kv("store_misses", static_cast<unsigned long long>(s.store_misses));
       w.key("store").raw(opts.store->stats_json());
     }
+    const ClusterView cv = cluster_view();
+    if (cv.map) {
+      w.key("cluster");
+      w.begin_object();
+      w.kv("cluster_id", cv.map->cluster_id());
+      w.kv("node_id", cv.node_id);
+      w.kv("epoch", static_cast<unsigned long long>(cv.map->epoch()));
+      w.kv("nodes", static_cast<unsigned long long>(cv.map->size()));
+      w.kv("replicas", static_cast<unsigned long long>(cv.map->replicas()));
+      w.kv("vnodes", static_cast<unsigned long long>(cv.map->vnodes()));
+      w.kv("self_index", cv.self);
+      w.kv("wrong_shard", static_cast<unsigned long long>(s.wrong_shard));
+      w.kv("map_exchanges", static_cast<unsigned long long>(s.map_exchanges));
+      w.kv("map_adopted", static_cast<unsigned long long>(s.map_adopted));
+      w.kv("health_checks", static_cast<unsigned long long>(s.health_checks));
+      w.end_object();
+    }
+    w.end_object();
+    return w.take();
+  }
+
+  /// The HEALTH-op payload: a liveness + load snapshot small enough for a
+  /// failover decision on every request. Served even when not clustered
+  /// (cluster fields are empty/zero) so it doubles as a plain probe.
+  std::string health_json() const {
+    const Stats s = snapshot();
+    const ClusterView cv = cluster_view();
+    obs::JsonWriter w;
+    w.begin_object();
+    w.kv("node_id", cv.node_id);
+    w.kv("cluster_id", cv.map ? cv.map->cluster_id() : "");
+    w.kv("epoch", static_cast<unsigned long long>(cv.map ? cv.map->epoch() : 0));
+    w.kv("draining", s.draining);
+    w.kv("uptime_s", static_cast<double>(now_ns() - start_ns) / 1e9);
+    w.kv("connections_current", static_cast<unsigned long long>(s.connections_current));
+    w.kv("inflight_bytes", static_cast<unsigned long long>(s.inflight_bytes));
+    w.kv("requests",
+         static_cast<unsigned long long>(s.requests_compress + s.requests_decompress));
+    w.kv("errors", static_cast<unsigned long long>(s.errors));
     w.end_object();
     return w.take();
   }
@@ -455,11 +599,12 @@ struct Server::Impl {
     store::ChunkStore* cs = opts.store.get();  // opts outlives the pool
     const u64 conn_id = c.id;
     const u64 t0 = now_ns();
+    ClusterView cv = cluster_view();  // immutable snapshot for the worker
     Impl* self = this;
     // The submit below runs under handle_frame's TraceContext scope, so the
     // pool captures h.request_id into the task and re-installs it around
     // execution — every span the worker opens is tagged with the request.
-    pool->submit([self, payload, h, exec, cs, conn_id, t0, n] {
+    pool->submit([self, payload, h, exec, cs, conn_id, t0, n, cv = std::move(cv)] {
       Completion comp;
       comp.conn_id = conn_id;
       comp.release = n;
@@ -478,6 +623,25 @@ struct Server::Impl {
       try {
         test_slowdown();
         test_crash();
+        if (cv.map) {
+          // Cluster mode: answer only for keys this node owns under its
+          // current map epoch. Refusals are cheap (one hash over the
+          // payload) and typed, so a stale client can recover by
+          // refetching the map instead of polluting the wrong shard.
+          const common::Hash128 key =
+              h.base_op() == static_cast<u8>(Op::Compress)
+                  ? store::compress_key(payload->data(), payload->size(),
+                                        static_cast<DType>(h.dtype),
+                                        static_cast<EbType>(h.eb_type), h.eps)
+                  : store::decompress_key(payload->data(), payload->size());
+          if (!cv.map->owns(key, cv.self)) {
+            self->st.wrong_shard.fetch_add(1, std::memory_order_relaxed);
+            ClusterMetrics::get().wrong_shard.add(1);
+            throw WrongShardError("key " + key.hex() + " is not owned by node '" +
+                                  cv.node_id + "' at shard-map epoch " +
+                                  std::to_string(cv.map->epoch()));
+          }
+        }
         if (h.base_op() == static_cast<u8>(Op::Compress)) {
           // COMPRESS with --store goes through the ingest dedup probe: a
           // duplicate payload answers straight from the store (byte-identical
@@ -536,6 +700,10 @@ struct Server::Impl {
           rh.eps = sh.eps;
           comp.frame = encode_frame(rh, raw.data(), raw.size());
         }
+      } catch (const WrongShardError& e) {
+        comp.frame =
+            encode_error_frame(h.request_id, h.op, Status::WrongShard, e.what());
+        comp.is_error = true;
       } catch (const std::exception& e) {
         comp.frame = encode_error_frame(h.request_id, h.op, Status::CompressFailed,
                                         e.what());
@@ -626,6 +794,81 @@ struct Server::Impl {
         rh.op = h.op | kResponseBit;
         rh.request_id = h.request_id;
         queue_response(c, encode_frame(rh, doc.data(), doc.size()),
+                       /*is_error=*/false);
+        return;
+      }
+      case Op::ShardMap: {
+        st.requests_other.fetch_add(1, std::memory_order_relaxed);
+        ClusterView cv = cluster_view();
+        if (!cv.map) {
+          queue_error(c, h.request_id, h.op, Status::BadParams,
+                      "server is not in a cluster");
+          return;
+        }
+        if (!f.payload.empty()) {
+          // Exchange: the caller sent its own map. Adopt it when it is a
+          // newer generation of the same cluster; either way the response
+          // below carries our (possibly just-updated) map.
+          cluster::ShardMap theirs;
+          try {
+            theirs = cluster::ShardMap::parse(f.payload);
+          } catch (const CompressionError& e) {
+            queue_error(c, h.request_id, h.op, Status::BadParams, e.what());
+            return;
+          }
+          if (theirs.cluster_id() != cv.map->cluster_id()) {
+            queue_error(c, h.request_id, h.op, Status::BadParams,
+                        "cluster id mismatch ('" + theirs.cluster_id() + "' vs '" +
+                            cv.map->cluster_id() + "')");
+            return;
+          }
+          bool adopted = false;
+          u64 old_epoch = 0;
+          {
+            std::lock_guard<std::mutex> lk(map_m);
+            if (theirs.epoch() > map->epoch()) {
+              old_epoch = map->epoch();
+              map = std::make_shared<cluster::ShardMap>(std::move(theirs));
+              self_index = map->find_node(node_id);
+              adopted = true;
+            }
+            cv.map = map;
+            cv.self = self_index;
+          }
+          if (adopted) {
+            st.map_adopted.fetch_add(1, std::memory_order_relaxed);
+            ClusterMetrics::get().map_adopted.add(1);
+            obs::EventLog& log = obs::EventLog::global();
+            if (log.would_log(obs::LogLevel::Info)) {
+              obs::JsonWriter w;
+              w.begin_object();
+              w.kv("epoch_old", static_cast<unsigned long long>(old_epoch));
+              w.kv("epoch_new", static_cast<unsigned long long>(cv.map->epoch()));
+              w.kv("nodes", static_cast<unsigned long long>(cv.map->size()));
+              w.kv("self_index", cv.self);
+              w.end_object();
+              log.emit(obs::LogLevel::Info, "shard_map_adopted", w.take());
+            }
+          }
+        }
+        st.map_exchanges.fetch_add(1, std::memory_order_relaxed);
+        ClusterMetrics::get().map_exchanges.add(1);
+        const Bytes body = cv.map->serialize();
+        FrameHeader rh;
+        rh.op = h.op | kResponseBit;
+        rh.request_id = h.request_id;
+        queue_response(c, encode_frame(rh, body), /*is_error=*/false);
+        return;
+      }
+      case Op::Health: {
+        st.requests_other.fetch_add(1, std::memory_order_relaxed);
+        st.health_checks.fetch_add(1, std::memory_order_relaxed);
+        ClusterMetrics::get().health_checks.add(1);
+        const std::string json = health_json();
+        FrameHeader rh;
+        rh.op = h.op | kResponseBit;
+        rh.request_id = h.request_id;
+        queue_response(c, encode_frame(rh, json.data(), json.size()),
                        /*is_error=*/false);
         return;
       }
@@ -738,6 +981,11 @@ struct Server::Impl {
     draining = true;
     st.draining.store(true, std::memory_order_relaxed);
     drain_deadline_ns = now_ns() + static_cast<u64>(opts.drain_timeout_ms) * 1000000ull;
+    if (poller) {
+      if (listen.valid()) poller->remove(listen.fd());
+      if (mlisten.valid()) poller->remove(mlisten.fd());
+      for (auto& [id, hc] : http_conns) poller->remove(hc->sock.fd());
+    }
     listen.close();  // stop accepting; queued SYNs get RST from the kernel
     mlisten.close();
     http_conns.clear();  // scrapes are stateless; no point flushing them out
@@ -777,12 +1025,51 @@ struct Server::Impl {
     }
   }
 
+  /// EMFILE/ENFILE on accept: the process is out of fds but the pending
+  /// connection still sits in the backlog. Close the reserve fd to free one
+  /// slot, accept-and-close the peer (a deterministic close beats a backlog
+  /// timeout), re-arm the reserve, and log. Returns false when even the
+  /// reserve trick could not accept (nothing further to shed this round).
+  bool shed_accept() {
+    st.accept_overloads.fetch_add(1, std::memory_order_relaxed);
+    NetMetrics::get().accept_overloads.add(1);
+    if (reserve_fd >= 0) {
+      ::close(reserve_fd);
+      reserve_fd = -1;
+    }
+    const int fd = ::accept(listen.fd(), nullptr, nullptr);
+    if (fd >= 0) ::close(fd);
+    if (reserve_fd < 0) reserve_fd = ::open("/dev/null", O_RDONLY | O_CLOEXEC);
+    obs::EventLog& log = obs::EventLog::global();
+    if (log.would_log(obs::LogLevel::Warn)) {
+      obs::JsonWriter w;
+      w.begin_object();
+      w.kv("connections_current",
+           static_cast<unsigned long long>(
+               st.connections_current.load(std::memory_order_relaxed)));
+      w.kv("shed_total", static_cast<unsigned long long>(
+                             st.accept_overloads.load(std::memory_order_relaxed)));
+      w.end_object();
+      log.emit(obs::LogLevel::Warn, "accept_overload", w.take());
+    }
+    return fd >= 0;
+  }
+
   void accept_ready() {
     for (;;) {
+      // At the --max-conns cap the listener is deregistered (run() arms it
+      // with no events), so new peers queue in the kernel backlog until a
+      // connection closes; this check only guards the same-round races.
+      if (opts.max_conns && conns.size() >= opts.max_conns) return;
       const int fd = ::accept(listen.fd(), nullptr, nullptr);
       if (fd < 0) {
         if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) return;
-        return;  // transient accept errors (ECONNABORTED, EMFILE): keep serving
+        if (errno == EMFILE || errno == ENFILE) {
+          // Out of fds is an overload, not a crash: shed and keep serving.
+          if (!shed_accept()) return;
+          continue;
+        }
+        return;  // transient accept errors (ECONNABORTED): keep serving
       }
       Socket s(fd);
       set_nonblocking(fd, true);
@@ -912,6 +1199,7 @@ struct Server::Impl {
     // will find no connection and skip the (already-done) release.
     st.inflight_bytes.fetch_sub(it->second->inflight, std::memory_order_relaxed);
     it->second->inflight = 0;
+    if (poller) poller->remove(it->second->sock.fd());
     conns.erase(it);
     st.connections_current.fetch_sub(1, std::memory_order_relaxed);
     NetMetrics::get().connections.set(static_cast<long long>(
@@ -940,8 +1228,20 @@ struct Server::Impl {
       fr.start();
     }
 
-    std::vector<pollfd> pfds;
-    std::vector<u64> pfd_conn;  // conn id per pollfd slot (0 = not a conn)
+    // Tags carry the fd's kind in the top byte and the conn/http id below
+    // it, so one epoll_wait result routes straight to its handler with no
+    // per-fd lookup table rebuilt per round.
+    constexpr u64 kTagMask = 0xFFull << 56;
+    constexpr u64 kTagWake = 1ull << 56;
+    constexpr u64 kTagListen = 2ull << 56;
+    constexpr u64 kTagMListen = 3ull << 56;
+    constexpr u64 kTagConn = 4ull << 56;
+    constexpr u64 kTagHttp = 5ull << 56;
+    constexpr u64 kIdMask = ~kTagMask;
+
+    poller = std::make_unique<Poller>(opts.use_epoll);
+    epoll_active.store(poller->epoll(), std::memory_order_relaxed);
+    std::vector<Poller::Event> events;
     for (;;) {
       if (stop_requested.load(std::memory_order_relaxed)) begin_drain();
       if (draining) {
@@ -958,64 +1258,61 @@ struct Server::Impl {
         if (conns.empty()) break;
       }
 
-      pfds.clear();
-      pfd_conn.clear();
-      pfds.push_back({wake_r, POLLIN, 0});
-      pfd_conn.push_back(0);
+      // Declare the interest set. The Poller caches per-fd state, so an
+      // unchanged fd costs a hash probe and no syscall on the epoll path.
+      poller->set(wake_r, POLLIN, kTagWake);
       if (listen.valid()) {
-        pfds.push_back({listen.fd(), POLLIN, 0});
-        pfd_conn.push_back(0);
+        const bool full = opts.max_conns && conns.size() >= opts.max_conns;
+        poller->set(listen.fd(), full ? 0 : POLLIN, kTagListen);
       }
-      const std::size_t first_conn = pfds.size();
       for (auto& [id, c] : conns) {
         short ev = 0;
         if (!c->no_read && !paused(*c)) ev |= POLLIN;
         if (!c->outq.empty()) ev |= POLLOUT;
-        if (ev == 0) ev = POLLHUP;  // still want error/hangup notification
-        pfds.push_back({c->sock.fd(), ev, 0});
-        pfd_conn.push_back(id);
+        // ev == 0 still reports error/hangup, poll(2) semantics.
+        poller->set(c->sock.fd(), ev, kTagConn | id);
       }
-      const std::size_t end_conn = pfds.size();
-      std::size_t mlisten_idx = SIZE_MAX;
-      if (mlisten.valid()) {
-        mlisten_idx = pfds.size();
-        pfds.push_back({mlisten.fd(), POLLIN, 0});
-        pfd_conn.push_back(0);
-      }
-      const std::size_t first_http = pfds.size();
-      for (auto& [id, hc] : http_conns) {
-        pfds.push_back({hc->sock.fd(),
-                        static_cast<short>(hc->out.empty() ? POLLIN : POLLOUT), 0});
-        pfd_conn.push_back(id);
-      }
+      if (mlisten.valid()) poller->set(mlisten.fd(), POLLIN, kTagMListen);
+      for (auto& [id, hc] : http_conns)
+        poller->set(hc->sock.fd(),
+                    static_cast<short>(hc->out.empty() ? POLLIN : POLLOUT),
+                    kTagHttp | id);
 
-      const int rc = ::poll(pfds.data(), pfds.size(), draining ? 20 : 200);
-      if (rc < 0 && errno != EINTR)
-        throw NetError("net: poll: " + std::string(std::strerror(errno)));
+      poller->wait(events, draining ? 20 : 200);
 
-      if (pfds[0].revents & POLLIN) {
-        u8 sink[256];
-        while (::read(wake_r, sink, sizeof(sink)) > 0) {
+      // Fixed processing order regardless of event order: wake-pipe drain,
+      // completions, accepts, connection I/O, HTTP — same as the poll-array
+      // loop this replaces.
+      bool accept_hit = false, maccept_hit = false;
+      for (const Poller::Event& e : events) {
+        if (e.tag == kTagWake && (e.revents & POLLIN)) {
+          u8 sink[256];
+          while (::read(wake_r, sink, sizeof(sink)) > 0) {
+          }
+        } else if (e.tag == kTagListen) {
+          accept_hit = true;
+        } else if (e.tag == kTagMListen) {
+          maccept_hit = true;
         }
       }
       process_completions();
       if (stop_requested.load(std::memory_order_relaxed)) begin_drain();
-      if (listen.valid() && pfds.size() > 1 && (pfds[1].revents & POLLIN))
-        accept_ready();
+      if (accept_hit && listen.valid()) accept_ready();
 
-      for (std::size_t i = first_conn; i < end_conn; ++i) {
-        auto it = conns.find(pfd_conn[i]);
+      for (const Poller::Event& e : events) {
+        if ((e.tag & kTagMask) != kTagConn) continue;
+        auto it = conns.find(e.tag & kIdMask);
         if (it == conns.end()) continue;  // closed earlier this round
         Connection& c = *it->second;
-        if (pfds[i].revents & (POLLERR | POLLNVAL)) {
+        if (e.revents & (POLLERR | POLLNVAL)) {
           close_conn(it);
           continue;
         }
-        if (pfds[i].revents & POLLOUT) flush_out(c);
-        if (pfds[i].revents & (POLLIN | POLLHUP)) {
+        if (e.revents & POLLOUT) flush_out(c);
+        if (e.revents & (POLLIN | POLLHUP)) {
           if (!c.no_read)
             read_ready(c);
-          else if (pfds[i].revents & POLLHUP) {
+          else if (e.revents & POLLHUP) {
             // Peer fully gone and nothing readable: flush what we can.
             flush_out(c);
           }
@@ -1025,20 +1322,24 @@ struct Server::Impl {
           close_conn(it);
       }
 
-      if (mlisten_idx != SIZE_MAX && (pfds[mlisten_idx].revents & POLLIN))
-        http_accept();
-      for (std::size_t i = first_http; i < pfds.size(); ++i) {
-        auto it = http_conns.find(pfd_conn[i]);
+      if (maccept_hit && mlisten.valid()) http_accept();
+      for (const Poller::Event& e : events) {
+        if ((e.tag & kTagMask) != kTagHttp) continue;
+        auto it = http_conns.find(e.tag & kIdMask);
         if (it == http_conns.end()) continue;  // cleared by a drain this round
         HttpConn& hc = *it->second;
-        bool done = (pfds[i].revents & (POLLERR | POLLNVAL | POLLHUP)) != 0 &&
+        bool done = (e.revents & (POLLERR | POLLNVAL | POLLHUP)) != 0 &&
                     hc.out.empty();
-        if (!done && (pfds[i].revents & POLLIN)) http_read(hc);
+        if (!done && (e.revents & POLLIN)) http_read(hc);
         if (!done && !hc.out.empty()) done = http_flush(hc);
         if (!done && hc.no_read && hc.out.empty()) done = true;
-        if (done) http_conns.erase(it);
+        if (done) {
+          poller->remove(hc.sock.fd());
+          http_conns.erase(it);
+        }
       }
     }
+    poller.reset();
     // Every connection is gone; quiesce the pool (completions for closed
     // conns are dropped) and drop whatever the workers pushed meanwhile.
     pool->drain();
@@ -1065,6 +1366,15 @@ void Server::run() { impl_->run(); }
 void Server::request_stop() {
   impl_->stop_requested.store(true, std::memory_order_relaxed);
   impl_->wake();
+}
+
+void Server::set_cluster(const cluster::ShardMap& map, const std::string& node_id) {
+  impl_->install_map(map, node_id);
+}
+
+cluster::ShardMap Server::shard_map() const {
+  const Impl::ClusterView cv = impl_->cluster_view();
+  return cv.map ? *cv.map : cluster::ShardMap();
 }
 
 Server::Stats Server::stats() const { return impl_->snapshot(); }

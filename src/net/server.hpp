@@ -2,7 +2,8 @@
 //
 // Architecture (one event-loop thread + the svc worker pool):
 //
-//   * A poll(2)-based event loop owns the listening socket and every
+//   * A readiness event loop (epoll(7) via net/poller.hpp, with poll(2) as
+//     the portability fallback) owns the listening socket and every
 //     connection. Connections are non-blocking; frames are parsed
 //     incrementally from per-connection buffers (net::FrameParser), so a
 //     slow or malicious peer can never block the loop or make it over-read.
@@ -31,6 +32,7 @@
 #include <memory>
 #include <string>
 
+#include "cluster/shard_map.hpp"
 #include "common/types.hpp"
 #include "core/pfpl.hpp"
 #include "net/socket.hpp"
@@ -78,6 +80,21 @@ class Server {
     /// `<crash_dir>/crash-<pid>.json`, keep its body refreshed with the last
     /// flight snapshots, and write stall dumps there.
     std::string crash_dir;
+    /// Accepted-connection cap: at the limit the listener is simply not
+    /// polled for reads, so new peers wait in the kernel backlog until a
+    /// slot frees. 0 = unlimited.
+    std::size_t max_conns = 0;
+    /// Event-loop backend: epoll(7) by default on Linux, with poll(2) as
+    /// the portability fallback (non-Linux builds, or --poll for A/B runs).
+    bool use_epoll = true;
+    /// Cluster membership: a non-empty shard map turns on cluster mode —
+    /// the SHARDMAP/HEALTH ops serve it, and COMPRESS/DECOMPRESS requests
+    /// whose content key this node does not own are refused with
+    /// Status::WrongShard (the client refetches the map and re-routes).
+    /// `node_id` names this node in the map; empty = resolve by matching
+    /// the bound port against the map's nodes (throws when ambiguous).
+    cluster::ShardMap shard_map;
+    std::string node_id;
   };
 
   /// Plain-atomic service counters (live regardless of obs::enabled(), so
@@ -99,6 +116,11 @@ class Server {
     u64 peak_inflight_bytes = 0;
     u64 slow_requests = 0;    ///< requests captured by the slow-request ring
     u64 metrics_scrapes = 0;  ///< METRICS ops + HTTP /metrics[.json] GETs
+    u64 accept_overloads = 0; ///< connections shed on EMFILE/ENFILE
+    u64 wrong_shard = 0;      ///< requests refused for keys this node doesn't own
+    u64 map_exchanges = 0;    ///< SHARDMAP ops served
+    u64 map_adopted = 0;      ///< higher-epoch maps adopted from peers/clients
+    u64 health_checks = 0;    ///< HEALTH ops served
     bool draining = false;
   };
 
@@ -121,6 +143,14 @@ class Server {
   /// Begin graceful drain. Safe from any thread and from signal handlers
   /// (atomic store + one write() to the wake pipe).
   void request_stop();
+
+  /// (Re)join a cluster: adopt `map` and identify as `node_id` (empty =
+  /// resolve by bound port, as with Options::node_id). Safe before run() or
+  /// while running — bench harnesses boot N ephemeral-port servers first
+  /// and install the map once every port is known.
+  void set_cluster(const cluster::ShardMap& map, const std::string& node_id = "");
+  /// The current shard map (empty when not clustered) and its epoch.
+  cluster::ShardMap shard_map() const;
 
   Stats stats() const;
   /// The STATS-op payload: stats + config as a JSON object.
