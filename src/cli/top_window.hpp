@@ -20,6 +20,7 @@ struct TopSample {
   double t = 0;
   double req = 0, bytes_rx = 0, bytes_tx = 0, hits = 0, misses = 0;
   double conns = 0, queue = 0, slow = 0, errors = 0;
+  double sessions = 0;  ///< live temporal stream sessions (a gauge, not a rate)
   bool has_hist = false;  ///< net.request_us present with count > 0
   double p50 = 0, p95 = 0, p99 = 0;  ///< lifetime quantiles (fallback)
   std::vector<double> bounds, buckets;

@@ -47,6 +47,47 @@ ClusterClient::ClusterClient(Options opts)
     : opts_(std::move(opts)), map_(opts_.map), jitter_(jitter_seed()) {
   if (map_.empty())
     throw CompressionError("ClusterClient: the shard map has no nodes");
+  if (opts_.refresh_interval_ms > 0)
+    refresher_ = std::thread([this] { refresher_loop(); });
+}
+
+ClusterClient::~ClusterClient() {
+  if (refresher_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lk(m_);
+      stop_ = true;
+    }
+    stop_cv_.notify_all();
+    refresher_.join();
+  }
+}
+
+void ClusterClient::refresher_loop() {
+  std::unique_lock<std::mutex> lk(m_);
+  for (;;) {
+    // The wait doubles as the shutdown gate: the destructor flips stop_ and
+    // notifies, so teardown never waits out a full interval.
+    stop_cv_.wait_for(lk, std::chrono::milliseconds(opts_.refresh_interval_ms),
+                      [this] { return stop_; });
+    if (stop_) return;
+    ++stats_.background_refreshes;
+    try {
+      refresh_map_locked();
+    } catch (const CompressionError&) {
+      // No node answered (NetError derives from CompressionError): stale is
+      // still routable, and the next tick tries again.
+    }
+  }
+}
+
+ShardMap ClusterClient::map() const {
+  std::lock_guard<std::mutex> lk(m_);
+  return map_;
+}
+
+ClusterClient::Stats ClusterClient::stats() const {
+  std::lock_guard<std::mutex> lk(m_);
+  return stats_;
 }
 
 net::Client& ClusterClient::client_for(u32 node_index) {
@@ -104,6 +145,11 @@ bool ClusterClient::refresh_from(net::Client& c) {
 }
 
 bool ClusterClient::refresh_map() {
+  std::lock_guard<std::mutex> lk(m_);
+  return refresh_map_locked();
+}
+
+bool ClusterClient::refresh_map_locked() {
   bool any_answer = false;
   bool adopted = false;
   std::string last_error = "no nodes in the map";
@@ -192,15 +238,18 @@ Bytes ClusterClient::routed(const common::Hash128& key,
 Bytes ClusterClient::compress(const void* raw, std::size_t n, DType dtype, EbType eb,
                               double eps) {
   const common::Hash128 key = store::compress_key(raw, n, dtype, eb, eps);
+  std::lock_guard<std::mutex> lk(m_);
   return routed(key, [&](net::Client& c) { return c.compress(raw, n, dtype, eb, eps); });
 }
 
 std::vector<u8> ClusterClient::decompress(const Bytes& stream) {
   const common::Hash128 key = store::decompress_key(stream.data(), stream.size());
+  std::lock_guard<std::mutex> lk(m_);
   return routed(key, [&](net::Client& c) { return c.decompress(stream); });
 }
 
 std::string ClusterClient::health(const std::string& node_id) {
+  std::lock_guard<std::mutex> lk(m_);
   const int idx = map_.find_node(node_id);
   if (idx < 0)
     throw CompressionError("cluster: unknown node '" + node_id + "'");
@@ -208,6 +257,7 @@ std::string ClusterClient::health(const std::string& node_id) {
 }
 
 std::string ClusterClient::stats_json() const {
+  std::lock_guard<std::mutex> lk(m_);
   obs::JsonWriter w;
   w.begin_object();
   w.kv("cluster_id", map_.cluster_id());
@@ -217,6 +267,8 @@ std::string ClusterClient::stats_json() const {
   w.kv("retries", static_cast<unsigned long long>(stats_.retries));
   w.kv("map_refreshes", static_cast<unsigned long long>(stats_.map_refreshes));
   w.kv("wrong_shard", static_cast<unsigned long long>(stats_.wrong_shard));
+  w.kv("background_refreshes",
+       static_cast<unsigned long long>(stats_.background_refreshes));
   w.key("node_requests");
   w.begin_object();
   for (const auto& [id, n] : stats_.node_requests)

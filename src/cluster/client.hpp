@@ -20,12 +20,19 @@
 // Per-node clients run with a single attempt (fail fast): the replica list
 // IS the retry policy at this layer.
 //
-// Thread safety: none — one ClusterClient per thread, like net::Client.
+// Thread safety: public operations serialize on an internal mutex, which is
+// what lets the optional background refresher (Options::refresh_interval_ms)
+// share the connection cache with the caller's thread. Throughput-wise it is
+// still one connection per node — run one ClusterClient per thread for
+// parallel load, like net::Client.
 #pragma once
 
+#include <condition_variable>
 #include <functional>
 #include <map>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <unordered_map>
 
 #include "cluster/shard_map.hpp"
@@ -50,22 +57,34 @@ class ClusterClient {
     int backoff_base_ms = 15;
     int backoff_max_ms = 1000;
     std::size_t max_response_payload = 1u << 30;
+    /// > 0: a background thread calls refresh_map() every this many ms, so
+    /// shard-map recovery does not depend on traffic hitting a WrongShard
+    /// refusal (an idle client converges too). Refresh failures (no node
+    /// answered) are swallowed — the next tick tries again. 0 = disabled.
+    int refresh_interval_ms = 0;
   };
 
-  /// Counters over this client's lifetime. Plain (not atomic): a
-  /// ClusterClient is single-threaded; aggregate across instances yourself.
+  /// Counters over this client's lifetime. Plain (not atomic): every update
+  /// happens under the internal mutex; read them through stats(), which
+  /// copies under the same lock.
   struct Stats {
     u64 requests = 0;       ///< successfully answered data requests
     u64 failovers = 0;      ///< replicas skipped on transport error/draining
     u64 retries = 0;        ///< extra sweeps after the first failed
     u64 map_refreshes = 0;  ///< newer-epoch maps adopted
     u64 wrong_shard = 0;    ///< WrongShard refusals observed
+    u64 background_refreshes = 0;  ///< timer-driven refresh_map() sweeps run
     /// Successful data requests per node id (who actually answered).
     std::map<std::string, u64> node_requests;
   };
 
   /// Throws CompressionError when opts.map is empty.
   explicit ClusterClient(Options opts);
+  /// Stops the background refresher (if any) before tearing down clients.
+  ~ClusterClient();
+
+  ClusterClient(const ClusterClient&) = delete;
+  ClusterClient& operator=(const ClusterClient&) = delete;
 
   /// Compress/decompress with key-based routing; signatures and payload
   /// semantics identical to net::Client.
@@ -81,23 +100,31 @@ class ClusterClient {
   /// answered.
   bool refresh_map();
 
-  const ShardMap& map() const { return map_; }
-  const Stats& stats() const { return stats_; }
+  /// Copies under the internal mutex (the background refresher may be
+  /// swapping the map / bumping counters concurrently).
+  ShardMap map() const;
+  Stats stats() const;
   std::string stats_json() const;
 
  private:
   net::Client& client_for(u32 node_index);
   /// SHARDMAP exchange with one node; adopt + return true on newer epoch.
   bool refresh_from(net::Client& c);
+  bool refresh_map_locked();
   void adopt(ShardMap fresh);
   Bytes routed(const common::Hash128& key,
                const std::function<Bytes(net::Client&)>& op);
+  void refresher_loop();
 
   Options opts_;
+  mutable std::mutex m_;  ///< serializes every public op + the refresher
   ShardMap map_;
   Stats stats_;
   std::unordered_map<std::string, net::Client> clients_;  ///< by node id
   net::BackoffJitter jitter_;
+  std::condition_variable stop_cv_;
+  bool stop_ = false;
+  std::thread refresher_;  ///< joinable only when refresh_interval_ms > 0
 };
 
 }  // namespace repro::cluster

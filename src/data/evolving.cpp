@@ -1,0 +1,221 @@
+#include "data/evolving.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "data/rng.hpp"
+
+namespace repro::data {
+namespace {
+
+/// Periodic value-noise lattice with trilinear smoothstep sampling. The
+/// lattice is fixed at construction; sampling at slowly moving coordinates
+/// yields a smooth field in both space and time.
+class Lattice3 {
+ public:
+  Lattice3(Rng& rng, std::size_t n) : n_(n), v_(n * n * n) {
+    for (double& x : v_) x = rng.uniform(-1.0, 1.0);
+  }
+
+  double sample(double x, double y, double z) const {
+    const auto wrap = [this](long i) {
+      long m = i % static_cast<long>(n_);
+      return static_cast<std::size_t>(m < 0 ? m + static_cast<long>(n_) : m);
+    };
+    const auto smooth = [](double t) { return t * t * (3.0 - 2.0 * t); };
+    const double fx = std::floor(x), fy = std::floor(y), fz = std::floor(z);
+    const double tx = smooth(x - fx), ty = smooth(y - fy), tz = smooth(z - fz);
+    const long ix = static_cast<long>(fx), iy = static_cast<long>(fy),
+               iz = static_cast<long>(fz);
+    double c[2][2][2];
+    for (int dz = 0; dz < 2; ++dz)
+      for (int dy = 0; dy < 2; ++dy)
+        for (int dx = 0; dx < 2; ++dx)
+          c[dz][dy][dx] = at(wrap(ix + dx), wrap(iy + dy), wrap(iz + dz));
+    const auto lerp = [](double a, double b, double t) { return a + (b - a) * t; };
+    double yz[2][2];
+    for (int dz = 0; dz < 2; ++dz)
+      for (int dy = 0; dy < 2; ++dy)
+        yz[dz][dy] = lerp(c[dz][dy][0], c[dz][dy][1], tx);
+    const double z0 = lerp(yz[0][0], yz[0][1], ty);
+    const double z1 = lerp(yz[1][0], yz[1][1], ty);
+    return lerp(z0, z1, tz);
+  }
+
+ private:
+  double at(std::size_t x, std::size_t y, std::size_t z) const {
+    return v_[(z * n_ + y) * n_ + x];
+  }
+  std::size_t n_;
+  std::vector<double> v_;
+};
+
+constexpr int kOctaves = 3;
+constexpr double kRoughness = 0.55;
+constexpr std::size_t kLatticeN = 8;
+
+/// Multi-octave advected sample at cell (z,y,x) of a dims-shaped frame at
+/// time t. `drift` is cells-per-frame at octave 0.
+double advected(const std::vector<Lattice3>& octaves,
+                const std::array<std::size_t, 3>& dims, std::size_t z, std::size_t y,
+                std::size_t x, double t, double drift) {
+  const double nx = static_cast<double>(kLatticeN);
+  const double ux = static_cast<double>(x) / static_cast<double>(dims[2]) * nx;
+  const double uy = static_cast<double>(y) / static_cast<double>(dims[1]) * nx;
+  const double uz = static_cast<double>(z) / static_cast<double>(dims[0]) * nx;
+  double sum = 0.0, amp = 1.0, freq = 1.0;
+  for (int o = 0; o < kOctaves; ++o) {
+    // Per-octave velocities differ so the field deforms, not just translates.
+    // Dividing by freq keeps the per-frame displacement a constant fraction
+    // of each octave's feature size — otherwise the fine octaves decorrelate
+    // within a frame or two and the suite stops exercising the P-frame path.
+    const double vx = drift * (1.0 + 0.31 * o) / freq;
+    const double vy = drift * (0.7 - 0.23 * o) / freq;
+    const double vz = drift * 0.35 * o / freq;
+    sum += amp * octaves[static_cast<std::size_t>(o)].sample(
+                     ux * freq - vx * t, uy * freq - vy * t, uz * freq + vz * t);
+    amp *= kRoughness;
+    freq *= 2.0;
+  }
+  return sum;
+}
+
+std::array<std::size_t, 3> pick_dims(std::size_t target_values) {
+  // z-slabbed 3D shape: z small so chunk-aligned slabs (regime suite) exist.
+  const std::size_t z = 4;
+  std::size_t s = 1;
+  while ((s + 1) * (s + 1) * z <= target_values) ++s;
+  return {z, s, s};
+}
+
+using Gen = void (*)(FrameSequence& seq, std::size_t frames, u64 seed);
+
+void gen_advect(FrameSequence& seq, std::size_t frames, u64 seed) {
+  Rng rng(seed);
+  std::vector<Lattice3> octaves;
+  for (int o = 0; o < kOctaves; ++o) octaves.emplace_back(rng, kLatticeN);
+  const auto& d = seq.dims;
+  for (std::size_t t = 0; t < frames; ++t) {
+    std::vector<float>& out = seq.f32.emplace_back(seq.frame_values());
+    std::size_t i = 0;
+    for (std::size_t z = 0; z < d[0]; ++z)
+      for (std::size_t y = 0; y < d[1]; ++y)
+        for (std::size_t x = 0; x < d[2]; ++x)
+          out[i++] = static_cast<float>(
+              100.0 * advected(octaves, d, z, y, x, static_cast<double>(t), 0.01));
+  }
+}
+
+void gen_diffuse(FrameSequence& seq, std::size_t frames, u64 seed) {
+  Rng rng(seed);
+  constexpr int kBlobs = 24;
+  struct Blob {
+    double cx, cy, cz, vx, vy, amp, w0;
+  };
+  std::vector<Blob> blobs;
+  const auto& d = seq.dims;
+  for (int b = 0; b < kBlobs; ++b)
+    blobs.push_back({rng.uniform(0.0, static_cast<double>(d[2])),
+                     rng.uniform(0.0, static_cast<double>(d[1])),
+                     rng.uniform(0.0, static_cast<double>(d[0])),
+                     rng.uniform(-0.15, 0.15), rng.uniform(-0.15, 0.15),
+                     rng.uniform(0.5, 4.0),
+                     rng.uniform(1.5, 4.0)});
+  for (std::size_t t = 0; t < frames; ++t) {
+    std::vector<double>& out = seq.f64.emplace_back(seq.frame_values());
+    const double td = static_cast<double>(t);
+    std::size_t i = 0;
+    for (std::size_t z = 0; z < d[0]; ++z)
+      for (std::size_t y = 0; y < d[1]; ++y)
+        for (std::size_t x = 0; x < d[2]; ++x) {
+          double v = 0.0;
+          for (const Blob& b : blobs) {
+            const double w2 = b.w0 * b.w0 + 0.4 * td;  // diffusive widening
+            const double dx = static_cast<double>(x) - (b.cx + b.vx * td);
+            const double dy = static_cast<double>(y) - (b.cy + b.vy * td);
+            const double dz = static_cast<double>(z) - b.cz;
+            const double r2 = dx * dx + dy * dy + dz * dz;
+            // Mass-conserving amplitude decay as the blob spreads.
+            v += b.amp * (b.w0 * b.w0 / w2) * std::exp(-r2 / (2.0 * w2));
+          }
+          out[i++] = v;
+        }
+  }
+}
+
+void gen_regime(FrameSequence& seq, std::size_t frames, u64 seed) {
+  Rng rng(seed);
+  std::vector<Lattice3> octaves;
+  for (int o = 0; o < kOctaves; ++o) octaves.emplace_back(rng, kLatticeN);
+  const auto& d = seq.dims;
+  const std::size_t switch_at = frames / 2;
+  const std::size_t chaotic_z = d[0] / 2;  // slabs >= this go chaotic
+  for (std::size_t t = 0; t < frames; ++t) {
+    std::vector<float>& out = seq.f32.emplace_back(seq.frame_values());
+    // After the switch, the chaotic slabs are re-seeded *per frame*: smooth
+    // in space (so intra coding still works) but uncorrelated in time.
+    const bool chaotic = t >= switch_at;
+    Rng frame_rng(seed ^ (0x9E3779B97F4A7C15ull * (t + 1)));
+    std::vector<Lattice3> fresh;
+    if (chaotic)
+      for (int o = 0; o < kOctaves; ++o) fresh.emplace_back(frame_rng, kLatticeN);
+    std::size_t i = 0;
+    for (std::size_t z = 0; z < d[0]; ++z)
+      for (std::size_t y = 0; y < d[1]; ++y)
+        for (std::size_t x = 0; x < d[2]; ++x) {
+          const bool this_chaotic = chaotic && z >= chaotic_z;
+          const auto& lat = this_chaotic ? fresh : octaves;
+          const double tt = this_chaotic ? 0.0 : static_cast<double>(t);
+          out[i++] =
+              static_cast<float>(100.0 * advected(lat, d, z, y, x, tt, 0.01));
+        }
+  }
+}
+
+struct Kind {
+  const char* kind;
+  Gen gen;
+};
+
+constexpr Kind kKinds[] = {
+    {"advect", gen_advect},
+    {"diffuse", gen_diffuse},
+    {"regime", gen_regime},
+};
+
+}  // namespace
+
+std::vector<EvolvingSpec> evolving_suites() {
+  return {
+      {"advect", "smoothly advected climate-like field", DType::F32, "advect"},
+      {"diffuse", "diffusing drifting particle densities", DType::F64, "diffuse"},
+      {"regime", "advected field with a mid-stream correlation-killing regime change",
+       DType::F32, "regime"},
+  };
+}
+
+EvolvingSpec find_evolving(const std::string& name) {
+  for (auto& s : evolving_suites())
+    if (s.name == name) return s;
+  throw std::invalid_argument("unknown evolving suite: " + name);
+}
+
+FrameSequence generate_evolving(const EvolvingSpec& spec, std::size_t target_values,
+                                std::size_t frames, u64 seed) {
+  FrameSequence seq;
+  seq.name = spec.name;
+  seq.dtype = spec.dtype;
+  seq.dims = pick_dims(target_values);
+  // Salt the seed with the suite name so suites never share a stream.
+  u64 salted = seed;
+  for (char c : spec.kind) salted = salted * 1099511628211ull + static_cast<u8>(c);
+  for (const Kind& k : kKinds) {
+    if (spec.kind == k.kind) {
+      k.gen(seq, frames, salted);
+      return seq;
+    }
+  }
+  throw std::invalid_argument("unknown evolving generator kind: " + spec.kind);
+}
+
+}  // namespace repro::data

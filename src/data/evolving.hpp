@@ -1,0 +1,71 @@
+// Time-correlated "evolving field" suites for the temporal subsystem.
+//
+// Each suite is a deterministic generator of a frame *sequence* — the
+// time-series analogue of the snapshot suites in synthetic.hpp — built to
+// exercise the regimes the temporal encoder's I/P decision is sensitive to:
+//
+//   advect   f32  smoothly advected climate-like field: a multi-octave
+//                 value-noise lattice sampled at positions drifting with a
+//                 constant velocity plus slow deformation. Consecutive
+//                 frames differ by far less than the intra-frame entropy —
+//                 the P-frame win case.
+//   diffuse  f64  particle densities: a sum of Gaussian blobs whose centres
+//                 drift and whose widths grow diffusively. Smooth in space
+//                 and time.
+//   regime   f32  correlation-killing series: the first half of the frames
+//                 (and, after the switch, the first half of the z-slabs)
+//                 advect smoothly, while the remaining slabs are re-seeded
+//                 fresh every frame — spatially smooth but temporally
+//                 uncorrelated, so per-chunk intra fallback must engage.
+//
+// All generators are seeded and byte-deterministic across platforms (fixed
+// splitmix64 streams, explicit double arithmetic) — tests and benches rely
+// on that exactly like they do for the snapshot suites.
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace repro::data {
+
+struct EvolvingSpec {
+  std::string name;
+  std::string description;
+  DType dtype = DType::F32;
+  std::string kind;  ///< generator id (see evolving.cpp)
+};
+
+/// The three evolving suites, in the order above.
+std::vector<EvolvingSpec> evolving_suites();
+
+/// Lookup by name; throws std::invalid_argument for an unknown suite.
+EvolvingSpec find_evolving(const std::string& name);
+
+/// One generated frame sequence: every frame shares the same dims/dtype.
+struct FrameSequence {
+  std::string name;
+  DType dtype = DType::F32;
+  std::array<std::size_t, 3> dims{1, 1, 0};
+  std::vector<std::vector<float>> f32;   ///< per-frame values (dtype == F32)
+  std::vector<std::vector<double>> f64;  ///< per-frame values (dtype == F64)
+
+  std::size_t frames() const { return dtype == DType::F32 ? f32.size() : f64.size(); }
+  std::size_t frame_values() const { return dims[0] * dims[1] * dims[2]; }
+
+  Field frame(std::size_t i) const {
+    if (dtype == DType::F32) return Field(f32[i].data(), dims);
+    return Field(f64[i].data(), dims);
+  }
+};
+
+/// Generate `frames` frames of roughly `target_values` scalars each (the
+/// generator picks a z-slabbed 3D shape). Deterministic in (spec, sizes,
+/// seed).
+FrameSequence generate_evolving(const EvolvingSpec& spec,
+                                std::size_t target_values = 1 << 16,
+                                std::size_t frames = 64, u64 seed = 0x5D12B1E5u);
+
+}  // namespace repro::data

@@ -19,6 +19,7 @@
 // that), or add external locking.
 #pragma once
 
+#include <array>
 #include <string>
 
 #include "common/types.hpp"
@@ -81,6 +82,23 @@ class Client {
 
   /// The HEALTH op: the node's liveness + load snapshot as JSON.
   std::string health();
+
+  /// Open a temporal frame session (STREAM_OPEN): the server builds a
+  /// FrameEncoder with (dtype, eb, eps, dims, keyframe_interval) and its own
+  /// executor. Returns the server-assigned session id.
+  u64 stream_open(DType dtype, EbType eb, double eps, const std::array<u32, 3>& dims,
+                  u32 keyframe_interval);
+
+  /// Push frame `frame_index` (raw scalars, exactly the session's frame
+  /// byte size) to session `sid` (STREAM_FRAME). Returns the encoded PFPV
+  /// frame record — append it to a temporal::StreamWriter. Frames must be
+  /// pushed in order; RemoteError(BadSession) means the session is gone
+  /// (idle-evicted or the server restarted): open a new session and resume —
+  /// the next frame will be a keyframe.
+  Bytes stream_frame(u64 sid, u64 frame_index, const void* raw, std::size_t n);
+
+  /// Close session `sid` (STREAM_CLOSE). Idempotent on the server.
+  void stream_close(u64 sid);
 
   /// Ask the server to drain and exit. The OK response is sent before the
   /// server stops, so this returning means the drain has begun.

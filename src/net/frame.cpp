@@ -64,6 +64,9 @@ const char* to_string(Op op) {
     case Op::Metrics: return "METRICS";
     case Op::ShardMap: return "SHARDMAP";
     case Op::Health: return "HEALTH";
+    case Op::StreamOpen: return "STREAM_OPEN";
+    case Op::StreamFrame: return "STREAM_FRAME";
+    case Op::StreamClose: return "STREAM_CLOSE";
   }
   return "?";
 }
@@ -78,6 +81,8 @@ const char* to_string(Status st) {
     case Status::TooLarge: return "TooLarge";
     case Status::Draining: return "Draining";
     case Status::WrongShard: return "WrongShard";
+    case Status::BadSession: return "BadSession";
+    case Status::SessionLimit: return "SessionLimit";
   }
   return nullptr;
 }

@@ -66,6 +66,14 @@ enum class Op : u8 {
                    ///< server adopts a higher epoch); response payload: the
                    ///< server's current serialized map (PFSM, docs/FORMAT.md)
   Health = 8,      ///< empty payload; response payload: liveness + load JSON
+  StreamOpen = 9,  ///< open a temporal frame session: dtype/eb/eps in the
+                   ///< header, payload = dims + keyframe interval (16 B);
+                   ///< response payload: u64 session id
+  StreamFrame = 10,  ///< payload: u64 session id + u64 frame index + raw
+                     ///< frame scalars; response payload: the encoded PFPV
+                     ///< frame record
+  StreamClose = 11,  ///< payload: u64 session id; response: empty
+                     ///< (idempotent — closing an unknown session is Ok)
 };
 
 inline constexpr u8 kResponseBit = 0x80;
@@ -81,6 +89,9 @@ enum class Status : u16 {
   Draining = 6,        ///< server is draining; request rejected
   WrongShard = 7,      ///< key not owned by this node under its shard-map
                        ///< epoch — refetch the map (SHARDMAP) and re-route
+  BadSession = 8,      ///< STREAM_FRAME names an unknown or evicted session
+                       ///< — open a new one (the next frame is a keyframe)
+  SessionLimit = 9,    ///< STREAM_OPEN refused: --max-sessions reached
 };
 
 const char* to_string(Op op);

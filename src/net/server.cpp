@@ -32,6 +32,8 @@
 #include "obs/trace.hpp"
 #include "store/store.hpp"
 #include "svc/thread_pool.hpp"
+#include "temporal/pfpv.hpp"
+#include "temporal/temporal.hpp"
 
 namespace repro::net {
 namespace {
@@ -96,11 +98,66 @@ struct ClusterMetrics {
   }
 };
 
+/// Server-side temporal.session.* handles (the per-frame temporal.* counters
+/// live in temporal/temporal.cpp).
+struct TemporalMetrics {
+  obs::Counter& sessions_opened;
+  obs::Counter& sessions_closed;
+  obs::Counter& sessions_evicted;
+  obs::Counter& stream_frames;
+  obs::Gauge& sessions;
+  static TemporalMetrics& get() {
+    auto& r = obs::MetricsRegistry::global();
+    static TemporalMetrics m{r.counter("temporal.sessions_opened"),
+                             r.counter("temporal.sessions_closed"),
+                             r.counter("temporal.sessions_evicted"),
+                             r.counter("temporal.stream_frames"),
+                             r.gauge("temporal.sessions")};
+    return m;
+  }
+};
+
 /// Thrown by the worker-side ownership check; turned into a typed
 /// Status::WrongShard error frame (never retried on the same node — the
 /// client refetches the shard map and re-routes).
 struct WrongShardError : std::runtime_error {
   using std::runtime_error::runtime_error;
+};
+
+u64 rd_le64(const u8* p) {
+  u64 v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<u64>(p[i]) << (8 * i);
+  return v;
+}
+
+u32 rd_le32(const u8* p) {
+  u32 v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<u32>(p[i]) << (8 * i);
+  return v;
+}
+
+/// One temporal frame session. The encoder is stateful (closed-loop
+/// reference), so frames of a session are serialized by `m`; distinct
+/// sessions encode concurrently on the pool. The map entry is a shared_ptr:
+/// eviction/drain can erase it while a worker still holds the object.
+struct StreamSession {
+  u64 id = 0;
+  temporal::SessionConfig cfg;
+  temporal::FrameEncoder enc;
+  std::mutex m;                     ///< serializes encode + expected_index
+  /// Next in-order client frame index. The *first* frame of a session may
+  /// carry any index: a client resuming after a reconnect (its old session
+  /// was evicted or died with the server) continues its own numbering, and
+  /// the fresh encoder answers it with a keyframe regardless. From then on
+  /// indices must be strictly sequential.
+  u64 expected_index = 0;
+  bool started = false;             ///< false until the first frame lands
+  std::atomic<u64> last_active_ns{0};
+  std::atomic<u64> frames{0}, iframes{0}, pframes{0};
+  u64 created_ns = 0;
+
+  StreamSession(u64 i, const temporal::SessionConfig& c, u64 now)
+      : id(i), cfg(c), enc(c), last_active_ns(now), created_ns(now) {}
 };
 
 u64 now_ns() {
@@ -225,6 +282,13 @@ struct Server::Impl {
   std::mutex comp_m;
   std::vector<Completion> completions;
 
+  /// Temporal frame sessions. The mutex covers the map; per-session state is
+  /// guarded by each session's own lock (workers encode under it).
+  mutable std::mutex sess_m;
+  std::map<u64, std::shared_ptr<StreamSession>> sessions;
+  u64 next_session_id = 1;
+  u64 last_session_sweep_ns = 0;
+
   /// Slow-request ring, sorted by total_us descending, capped at
   /// opts.slow_capacity. Written on the loop thread; the mutex covers
   /// external stats_json()/metrics_json() readers.
@@ -241,6 +305,8 @@ struct Server::Impl {
     std::atomic<u64> slow_requests{0}, metrics_scrapes{0};
     std::atomic<u64> accept_overloads{0};
     std::atomic<u64> wrong_shard{0}, map_exchanges{0}, map_adopted{0}, health_checks{0};
+    std::atomic<u64> sessions_opened{0}, sessions_closed{0}, sessions_evicted{0};
+    std::atomic<u64> stream_frames{0};
     std::atomic<bool> draining{false};
   } st;
 
@@ -342,8 +408,113 @@ struct Server::Impl {
     out.map_exchanges = st.map_exchanges.load(std::memory_order_relaxed);
     out.map_adopted = st.map_adopted.load(std::memory_order_relaxed);
     out.health_checks = st.health_checks.load(std::memory_order_relaxed);
+    out.sessions_opened = st.sessions_opened.load(std::memory_order_relaxed);
+    out.sessions_closed = st.sessions_closed.load(std::memory_order_relaxed);
+    out.sessions_evicted = st.sessions_evicted.load(std::memory_order_relaxed);
+    out.stream_frames = st.stream_frames.load(std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lk(sess_m);
+      out.sessions_current = sessions.size();
+    }
     out.draining = st.draining.load(std::memory_order_relaxed);
     return out;
+  }
+
+  // -- temporal sessions ----------------------------------------------------
+
+  std::shared_ptr<StreamSession> find_session(u64 sid) const {
+    std::lock_guard<std::mutex> lk(sess_m);
+    auto it = sessions.find(sid);
+    return it == sessions.end() ? nullptr : it->second;
+  }
+
+  void note_sessions_gauge() {
+    std::size_t n;
+    {
+      std::lock_guard<std::mutex> lk(sess_m);
+      n = sessions.size();
+    }
+    TemporalMetrics::get().sessions.set(static_cast<long long>(n));
+  }
+
+  /// Evict sessions idle past opts.session_idle_ms (loop thread, time-gated
+  /// to one sweep per ~500 ms).
+  void evict_idle_sessions() {
+    if (opts.session_idle_ms <= 0) return;
+    const u64 now = now_ns();
+    if (now - last_session_sweep_ns < 500'000'000ull) return;
+    last_session_sweep_ns = now;
+    const u64 limit = static_cast<u64>(opts.session_idle_ms) * 1'000'000ull;
+    std::size_t evicted = 0;
+    {
+      std::lock_guard<std::mutex> lk(sess_m);
+      for (auto it = sessions.begin(); it != sessions.end();) {
+        const u64 last = it->second->last_active_ns.load(std::memory_order_relaxed);
+        if (now - last > limit) {
+          it = sessions.erase(it);
+          ++evicted;
+        } else {
+          ++it;
+        }
+      }
+    }
+    if (evicted) {
+      st.sessions_evicted.fetch_add(evicted, std::memory_order_relaxed);
+      TemporalMetrics::get().sessions_evicted.add(evicted);
+      note_sessions_gauge();
+    }
+  }
+
+  /// Drain: every live session dies (counted as evicted); later frames get
+  /// BadSession, new opens get Draining.
+  void kill_all_sessions() {
+    std::size_t killed = 0;
+    {
+      std::lock_guard<std::mutex> lk(sess_m);
+      killed = sessions.size();
+      sessions.clear();
+    }
+    if (killed) {
+      st.sessions_evicted.fetch_add(killed, std::memory_order_relaxed);
+      TemporalMetrics::get().sessions_evicted.add(killed);
+      note_sessions_gauge();
+    }
+  }
+
+  /// Per-session STATS rows (id, frame counts, age/idle).
+  std::string sessions_json() const {
+    std::vector<std::shared_ptr<StreamSession>> snap;
+    {
+      std::lock_guard<std::mutex> lk(sess_m);
+      snap.reserve(sessions.size());
+      for (const auto& [id, s] : sessions) snap.push_back(s);
+    }
+    const u64 now = now_ns();
+    obs::JsonWriter w;
+    w.begin_array();
+    for (const auto& s : snap) {
+      w.begin_object();
+      w.kv("id", static_cast<unsigned long long>(s->id));
+      w.kv("dtype", repro::to_string(s->cfg.dtype));
+      w.kv("eb", repro::to_string(s->cfg.eb));
+      w.kv("eps", s->cfg.eps);
+      w.kv("frame_values", static_cast<unsigned long long>(s->cfg.frame_values()));
+      w.kv("keyframe_interval",
+           static_cast<unsigned long long>(s->cfg.keyframe_interval));
+      w.kv("frames", static_cast<unsigned long long>(
+                         s->frames.load(std::memory_order_relaxed)));
+      w.kv("iframes", static_cast<unsigned long long>(
+                          s->iframes.load(std::memory_order_relaxed)));
+      w.kv("pframes", static_cast<unsigned long long>(
+                          s->pframes.load(std::memory_order_relaxed)));
+      w.kv("age_s", static_cast<double>(now - s->created_ns) / 1e9);
+      w.kv("idle_s",
+           static_cast<double>(now - s->last_active_ns.load(std::memory_order_relaxed)) /
+               1e9);
+      w.end_object();
+    }
+    w.end_array();
+    return w.take();
   }
 
   std::string stats_json() const {
@@ -386,6 +557,17 @@ struct Server::Impl {
       w.kv("store_misses", static_cast<unsigned long long>(s.store_misses));
       w.key("store").raw(opts.store->stats_json());
     }
+    w.key("sessions");
+    w.begin_object();
+    w.kv("current", static_cast<unsigned long long>(s.sessions_current));
+    w.kv("opened", static_cast<unsigned long long>(s.sessions_opened));
+    w.kv("closed", static_cast<unsigned long long>(s.sessions_closed));
+    w.kv("evicted", static_cast<unsigned long long>(s.sessions_evicted));
+    w.kv("stream_frames", static_cast<unsigned long long>(s.stream_frames));
+    w.kv("max_sessions", static_cast<unsigned long long>(opts.max_sessions));
+    w.kv("session_idle_ms", opts.session_idle_ms);
+    w.key("rows").raw(sessions_json());
+    w.end_object();
     const ClusterView cv = cluster_view();
     if (cv.map) {
       w.key("cluster");
@@ -590,6 +772,12 @@ struct Server::Impl {
   // -- request handling ----------------------------------------------------
 
   void dispatch(Connection& c, Frame&& f) {
+    if (f.header.base_op() == static_cast<u8>(Op::StreamFrame)) {
+      // Deferred frames come back through dispatch() (pump's un-park path),
+      // so the stream branch lives here, not in handle_frame.
+      dispatch_stream(c, std::move(f));
+      return;
+    }
     const FrameHeader h = f.header;
     const std::size_t n = f.payload.size();
     inflight_add(c, n);
@@ -704,6 +892,88 @@ struct Server::Impl {
         comp.frame =
             encode_error_frame(h.request_id, h.op, Status::WrongShard, e.what());
         comp.is_error = true;
+      } catch (const std::exception& e) {
+        comp.frame = encode_error_frame(h.request_id, h.op, Status::CompressFailed,
+                                        e.what());
+        comp.is_error = true;
+      }
+      comp.work_ns = now_ns() - comp.work_start_ns;
+      {
+        std::lock_guard<std::mutex> lk(self->comp_m);
+        self->completions.push_back(std::move(comp));
+      }
+      self->wake();
+    });
+  }
+
+  /// STREAM_FRAME: resolve the session on the loop thread (it may have been
+  /// idle-evicted while the frame was parked), then encode on the pool.
+  /// Frames of one session serialize on the session mutex; distinct sessions
+  /// encode concurrently.
+  void dispatch_stream(Connection& c, Frame&& f) {
+    const FrameHeader h = f.header;
+    const std::size_t n = f.payload.size();
+    const u64 sid = rd_le64(f.payload.data());
+    std::shared_ptr<StreamSession> sess = find_session(sid);
+    if (!sess) {
+      queue_error(c, h.request_id, h.op, Status::BadSession,
+                  "unknown session " + std::to_string(sid) +
+                      " (evicted or never opened) — reopen and resume");
+      return;
+    }
+    if (n != 16 + sess->cfg.frame_bytes()) {
+      queue_error(c, h.request_id, h.op, Status::BadParams,
+                  "frame payload is " + std::to_string(n - 16) + " bytes, session " +
+                      std::to_string(sid) + " expects " +
+                      std::to_string(sess->cfg.frame_bytes()));
+      return;
+    }
+    inflight_add(c, n);
+    st.stream_frames.fetch_add(1, std::memory_order_relaxed);
+    TemporalMetrics::get().stream_frames.add(1);
+    NetMetrics::get().requests.add(1);
+    auto payload = std::make_shared<Bytes>(std::move(f.payload));
+    const u64 conn_id = c.id;
+    const u64 t0 = now_ns();
+    Impl* self = this;
+    pool->submit([self, payload, h, sess = std::move(sess), conn_id, t0, n] {
+      Completion comp;
+      comp.conn_id = conn_id;
+      comp.release = n;
+      comp.t0_ns = t0;
+      comp.work_start_ns = now_ns();
+      comp.request_id = h.request_id;
+      comp.op = h.base_op();
+      comp.dtype = static_cast<u8>(sess->cfg.dtype);
+      obs::TraceContext::Scope trace_ctx(h.request_id);
+      obs::ScopedSpan work_span("net.work.stream_frame");
+      const u64 fidx = rd_le64(payload->data() + 8);
+      try {
+        test_slowdown();
+        std::lock_guard<std::mutex> lk(sess->m);
+        if (sess->started && fidx != sess->expected_index)
+          throw CompressionError("out-of-order frame index " + std::to_string(fidx) +
+                                 " (session expects " +
+                                 std::to_string(sess->expected_index) + ")");
+        Field field = sess->cfg.dtype == DType::F64
+                          ? Field(reinterpret_cast<const double*>(payload->data() + 16),
+                                  sess->cfg.frame_values())
+                          : Field(reinterpret_cast<const float*>(payload->data() + 16),
+                                  sess->cfg.frame_values());
+        const temporal::EncodedFrame ef = sess->enc.encode(field, fidx);
+        sess->started = true;
+        sess->expected_index = fidx + 1;
+        sess->last_active_ns.store(now_ns(), std::memory_order_relaxed);
+        sess->frames.fetch_add(1, std::memory_order_relaxed);
+        (ef.type == temporal::FrameType::Intra ? sess->iframes : sess->pframes)
+            .fetch_add(1, std::memory_order_relaxed);
+        FrameHeader rh;
+        rh.op = h.op | kResponseBit;
+        rh.request_id = h.request_id;
+        rh.dtype = static_cast<u8>(sess->cfg.dtype);
+        rh.eb_type = static_cast<u8>(sess->cfg.eb);
+        rh.eps = sess->cfg.eps;
+        comp.frame = encode_frame(rh, temporal::encode_frame_record(ef));
       } catch (const std::exception& e) {
         comp.frame = encode_error_frame(h.request_id, h.op, Status::CompressFailed,
                                         e.what());
@@ -909,6 +1179,104 @@ struct Server::Impl {
         admit(c, std::move(f));
         return;
       }
+      case Op::StreamOpen: {
+        st.requests_other.fetch_add(1, std::memory_order_relaxed);
+        if (draining) {
+          queue_error(c, h.request_id, h.op, Status::Draining, "server is draining");
+          return;
+        }
+        if (f.payload.size() != 16) {
+          queue_error(c, h.request_id, h.op, Status::BadParams,
+                      "STREAM_OPEN payload must be 16 bytes (3x u32 dims + u32 "
+                      "keyframe_interval)");
+          return;
+        }
+        if (h.dtype > 1 || h.eb_type > 2 || !std::isfinite(h.eps)) {
+          queue_error(c, h.request_id, h.op, Status::BadParams,
+                      "unknown dtype/eb_type or non-finite eps");
+          return;
+        }
+        temporal::SessionConfig cfg;
+        cfg.dtype = static_cast<DType>(h.dtype);
+        cfg.eb = static_cast<EbType>(h.eb_type);
+        cfg.eps = h.eps;
+        for (int d = 0; d < 3; ++d)
+          cfg.dims[static_cast<std::size_t>(d)] = rd_le32(f.payload.data() + 4 * d);
+        cfg.keyframe_interval = rd_le32(f.payload.data() + 12);
+        cfg.exec = opts.exec;
+        u64 sid = 0;
+        {
+          std::lock_guard<std::mutex> lk(sess_m);
+          if (opts.max_sessions && sessions.size() >= opts.max_sessions) {
+            queue_error(c, h.request_id, h.op, Status::SessionLimit,
+                        "session limit of " + std::to_string(opts.max_sessions) +
+                            " reached");
+            return;
+          }
+          sid = next_session_id++;
+          try {
+            sessions.emplace(
+                sid, std::make_shared<StreamSession>(sid, cfg, now_ns()));
+          } catch (const CompressionError& e) {
+            // FrameEncoder's config validation (zero frame, eps below the
+            // dtype's min normal under ABS, ...).
+            queue_error(c, h.request_id, h.op, Status::BadParams, e.what());
+            return;
+          }
+        }
+        st.sessions_opened.fetch_add(1, std::memory_order_relaxed);
+        TemporalMetrics::get().sessions_opened.add(1);
+        note_sessions_gauge();
+        u8 body[8];
+        for (int i = 0; i < 8; ++i) body[i] = static_cast<u8>(sid >> (8 * i));
+        FrameHeader rh;
+        rh.op = h.op | kResponseBit;
+        rh.request_id = h.request_id;
+        rh.dtype = h.dtype;
+        rh.eb_type = h.eb_type;
+        rh.eps = h.eps;
+        queue_response(c, encode_frame(rh, body, sizeof body), /*is_error=*/false);
+        return;
+      }
+      case Op::StreamFrame: {
+        if (draining) {
+          queue_error(c, h.request_id, h.op, Status::Draining, "server is draining");
+          return;
+        }
+        if (f.payload.size() < 16) {
+          queue_error(c, h.request_id, h.op, Status::BadParams,
+                      "STREAM_FRAME payload must carry u64 session id + u64 "
+                      "frame index + raw scalars");
+          return;
+        }
+        admit(c, std::move(f));  // admit() -> dispatch() routes to dispatch_stream
+        return;
+      }
+      case Op::StreamClose: {
+        st.requests_other.fetch_add(1, std::memory_order_relaxed);
+        if (f.payload.size() != 8) {
+          queue_error(c, h.request_id, h.op, Status::BadParams,
+                      "STREAM_CLOSE payload must be a u64 session id");
+          return;
+        }
+        const u64 sid = rd_le64(f.payload.data());
+        bool erased = false;
+        {
+          std::lock_guard<std::mutex> lk(sess_m);
+          erased = sessions.erase(sid) != 0;
+        }
+        if (erased) {
+          st.sessions_closed.fetch_add(1, std::memory_order_relaxed);
+          TemporalMetrics::get().sessions_closed.add(1);
+          note_sessions_gauge();
+        }
+        // Idempotent: closing an unknown/already-evicted session is Ok.
+        FrameHeader rh;
+        rh.op = h.op | kResponseBit;
+        rh.request_id = h.request_id;
+        queue_response(c, encode_frame(rh, nullptr, 0), /*is_error=*/false);
+        return;
+      }
     }
     queue_error(c, h.request_id, h.op, Status::BadFrame,
                 "unsupported op " + std::to_string(h.base_op()));
@@ -997,6 +1365,10 @@ struct Server::Impl {
                     "server is draining");
       }
     }
+    // Temporal sessions die with the drain: clients get Draining for frames
+    // of this process's lifetime and BadSession from the next one, and both
+    // recover the same way (reopen, resume at a keyframe).
+    kill_all_sessions();
   }
 
   void process_completions() {
@@ -1296,6 +1668,7 @@ struct Server::Impl {
         }
       }
       process_completions();
+      evict_idle_sessions();
       if (stop_requested.load(std::memory_order_relaxed)) begin_drain();
       if (accept_hit && listen.valid()) accept_ready();
 

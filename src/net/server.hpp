@@ -95,6 +95,13 @@ class Server {
     /// the bound port against the map's nodes (throws when ambiguous).
     cluster::ShardMap shard_map;
     std::string node_id;
+    /// Temporal frame sessions (STREAM_OPEN/FRAME/CLOSE): cap on concurrent
+    /// sessions (0 = unlimited) and the idle-eviction threshold — a session
+    /// with no frame for `session_idle_ms` is evicted and later frames get
+    /// Status::BadSession (the client reopens and resumes at a keyframe).
+    /// 0 disables idle eviction.
+    std::size_t max_sessions = 64;
+    int session_idle_ms = 60000;
   };
 
   /// Plain-atomic service counters (live regardless of obs::enabled(), so
@@ -121,6 +128,11 @@ class Server {
     u64 map_exchanges = 0;    ///< SHARDMAP ops served
     u64 map_adopted = 0;      ///< higher-epoch maps adopted from peers/clients
     u64 health_checks = 0;    ///< HEALTH ops served
+    u64 sessions_opened = 0;  ///< STREAM_OPEN sessions created
+    u64 sessions_closed = 0;  ///< STREAM_CLOSE (explicit client close)
+    u64 sessions_evicted = 0; ///< idle-evicted or killed by drain
+    u64 sessions_current = 0; ///< live temporal sessions
+    u64 stream_frames = 0;    ///< STREAM_FRAME requests admitted
     bool draining = false;
   };
 

@@ -1,0 +1,452 @@
+// Tests for the temporal streaming subsystem (src/temporal + the PFPN
+// STREAM ops): evolving-suite determinism, closed-loop P-frame error bounds
+// over long sequences, per-chunk intra fallback under a correlation-killing
+// regime change, PFPV container torn-tail recovery and corruption rejection,
+// server-side session lifecycle (idle eviction, the session cap, drain), and
+// the cluster client's timer-driven background map refresh.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include "cluster/client.hpp"
+#include "cluster/shard_map.hpp"
+#include "core/pfpl.hpp"
+#include "data/evolving.hpp"
+#include "io/raw_file.hpp"
+#include "metrics/error_stats.hpp"
+#include "net/client.hpp"
+#include "net/frame.hpp"
+#include "net/server.hpp"
+#include "temporal/pfpv.hpp"
+#include "temporal/temporal.hpp"
+
+using namespace repro;
+namespace fs = std::filesystem;
+
+namespace {
+
+temporal::SessionConfig config_for(const data::FrameSequence& seq, EbType eb,
+                                   double eps, u32 keyframe_interval = 16) {
+  temporal::SessionConfig cfg;
+  cfg.dtype = seq.dtype;
+  cfg.eb = eb;
+  cfg.eps = eps;
+  cfg.dims = {static_cast<u32>(seq.dims[0]), static_cast<u32>(seq.dims[1]),
+              static_cast<u32>(seq.dims[2])};
+  cfg.keyframe_interval = keyframe_interval;
+  return cfg;
+}
+
+std::size_t audit_frame(const temporal::SessionConfig& cfg, const u8* orig,
+                        const u8* recon) {
+  const std::size_t n = cfg.frame_values();
+  if (cfg.dtype == DType::F32)
+    return metrics::count_violations(
+        std::span<const float>(reinterpret_cast<const float*>(orig), n),
+        std::span<const float>(reinterpret_cast<const float*>(recon), n),
+        cfg.eps, cfg.eb);
+  return metrics::count_violations(
+      std::span<const double>(reinterpret_cast<const double*>(orig), n),
+      std::span<const double>(reinterpret_cast<const double*>(recon), n),
+      cfg.eps, cfg.eb);
+}
+
+const u8* frame_bytes(const data::FrameSequence& seq, std::size_t i) {
+  return seq.dtype == DType::F32
+             ? reinterpret_cast<const u8*>(seq.f32[i].data())
+             : reinterpret_cast<const u8*>(seq.f64[i].data());
+}
+
+/// Scratch file that deletes itself on scope exit.
+struct TempFile {
+  TempFile() {
+    path = (fs::temp_directory_path() /
+            ("pfpl_test_temporal_" + std::to_string(::getpid()) + "_" +
+             std::to_string(counter++)))
+               .string();
+  }
+  ~TempFile() {
+    std::error_code ec;
+    fs::remove(path, ec);
+  }
+  static inline int counter = 0;
+  std::string path;
+};
+
+/// A server on its own thread; joins on scope exit (same idiom as test_net).
+struct TestServer {
+  explicit TestServer(net::Server::Options opts = {}) : server(opts) {
+    thread = std::thread([this] { server.run(); });
+  }
+  ~TestServer() {
+    if (thread.joinable()) {
+      server.request_stop();
+      thread.join();
+    }
+  }
+  void stop() {
+    server.request_stop();
+    thread.join();
+  }
+  net::Client::Options client_options() const {
+    net::Client::Options o;
+    o.host = "127.0.0.1";
+    o.port = server.port();
+    return o;
+  }
+  net::Server server;
+  std::thread thread;
+};
+
+// ---------------------------------------------------------------------------
+// Evolving suites (src/data)
+
+TEST(Evolving, RosterAndLookup) {
+  const auto suites = data::evolving_suites();
+  ASSERT_EQ(suites.size(), 3u);
+  EXPECT_EQ(data::find_evolving("advect").dtype, DType::F32);
+  EXPECT_EQ(data::find_evolving("diffuse").dtype, DType::F64);
+  EXPECT_EQ(data::find_evolving("regime").kind, "regime");
+  EXPECT_THROW(data::find_evolving("nope"), std::invalid_argument);
+}
+
+TEST(Evolving, SameSeedIsByteIdentical) {
+  for (const auto& spec : data::evolving_suites()) {
+    const auto a = data::generate_evolving(spec, 4096, 8, 1234);
+    const auto b = data::generate_evolving(spec, 4096, 8, 1234);
+    const auto c = data::generate_evolving(spec, 4096, 8, 5678);
+    ASSERT_EQ(a.frames(), 8u);
+    ASSERT_EQ(a.dims, b.dims);
+    const std::size_t nbytes = a.frame_values() * dtype_size(a.dtype);
+    bool differs_from_c = false;
+    for (std::size_t t = 0; t < a.frames(); ++t) {
+      EXPECT_EQ(std::memcmp(frame_bytes(a, t), frame_bytes(b, t), nbytes), 0)
+          << spec.name << " frame " << t;
+      if (std::memcmp(frame_bytes(a, t), frame_bytes(c, t), nbytes) != 0)
+        differs_from_c = true;
+    }
+    EXPECT_TRUE(differs_from_c) << spec.name << ": seed is ignored";
+  }
+}
+
+TEST(Evolving, FramesActuallyEvolve) {
+  const auto seq = data::generate_evolving(data::find_evolving("advect"), 4096, 4);
+  const std::size_t nbytes = seq.frame_values() * sizeof(float);
+  EXPECT_NE(std::memcmp(frame_bytes(seq, 0), frame_bytes(seq, 1), nbytes), 0);
+  EXPECT_NE(std::memcmp(frame_bytes(seq, 1), frame_bytes(seq, 3), nbytes), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Closed-loop FrameEncoder / FrameDecoder
+
+TEST(Temporal, ClosedLoopHoldsBoundOver100Frames) {
+  // The error-accumulation test: 100+ frames, keyframes only every 25, a
+  // tight ABS bound. Because prediction references the previous *decoded*
+  // frame, frame 99's error must be as bounded as frame 1's.
+  const auto seq =
+      data::generate_evolving(data::find_evolving("advect"), 2048, 104);
+  const auto cfg = config_for(seq, EbType::ABS, 1e-4, 25);
+  temporal::FrameEncoder enc(cfg);
+  temporal::FrameDecoder dec(cfg);
+  for (std::size_t t = 0; t < seq.frames(); ++t) {
+    const temporal::EncodedFrame ef = enc.encode(seq.frame(t), t);
+    const std::vector<u8>& recon = dec.decode(ef);
+    EXPECT_EQ(audit_frame(cfg, frame_bytes(seq, t), recon.data()), 0u)
+        << "frame " << t;
+  }
+  EXPECT_EQ(enc.frames_encoded(), 104u);
+  EXPECT_GT(enc.predicted_frames(), 90u);  // keyframes + audit fallbacks only
+}
+
+TEST(Temporal, NoaBoundHoldsOnPredictedFrames) {
+  // NOA is range-relative per frame; the encoder derives an ABS bound from
+  // the *current* frame's range, so the guarantee must survive prediction.
+  const auto seq =
+      data::generate_evolving(data::find_evolving("diffuse"), 2048, 40);
+  const auto cfg = config_for(seq, EbType::NOA, 1e-4);
+  temporal::FrameEncoder enc(cfg);
+  temporal::FrameDecoder dec(cfg);
+  for (std::size_t t = 0; t < seq.frames(); ++t) {
+    const std::vector<u8>& recon = dec.decode(enc.encode(seq.frame(t), t));
+    EXPECT_EQ(audit_frame(cfg, frame_bytes(seq, t), recon.data()), 0u)
+        << "frame " << t;
+  }
+  EXPECT_GT(enc.predicted_frames(), 0u);
+}
+
+TEST(Temporal, RegimeChangeTriggersPerChunkFallback) {
+  // The regime suite keeps half the volume temporally smooth and re-seeds
+  // the other half every frame after the midpoint: P frames must keep the
+  // smooth chunks predicted while falling back to intra for the chaotic
+  // ones — and the bound must hold everywhere regardless.
+  const auto seq =
+      data::generate_evolving(data::find_evolving("regime"), 16384, 32);
+  const auto cfg = config_for(seq, EbType::ABS, 1e-3);
+  temporal::FrameEncoder enc(cfg);
+  temporal::FrameDecoder dec(cfg);
+  std::size_t violations = 0;
+  for (std::size_t t = 0; t < seq.frames(); ++t) {
+    const std::vector<u8>& recon = dec.decode(enc.encode(seq.frame(t), t));
+    violations += audit_frame(cfg, frame_bytes(seq, t), recon.data());
+  }
+  EXPECT_EQ(violations, 0u);
+  EXPECT_GT(enc.predicted_chunks(), 0u) << "smooth half should stay predicted";
+  EXPECT_GT(enc.intra_fallback_chunks(), 0u)
+      << "chaotic half should force per-chunk intra fallback";
+}
+
+TEST(Temporal, DecoderRequiresKeyframeFirst) {
+  const auto seq = data::generate_evolving(data::find_evolving("advect"), 1024, 3);
+  const auto cfg = config_for(seq, EbType::ABS, 1e-3);
+  temporal::FrameEncoder enc(cfg);
+  (void)enc.encode(seq.frame(0), 0);
+  const temporal::EncodedFrame p = enc.encode(seq.frame(1), 1);
+  ASSERT_EQ(p.type, temporal::FrameType::Predicted);
+  temporal::FrameDecoder fresh(cfg);
+  EXPECT_THROW(fresh.decode(p), CompressionError);
+}
+
+// ---------------------------------------------------------------------------
+// PFPV container
+
+TEST(Pfpv, RoundTripPreservesFramesAndKeyframeIndex) {
+  const auto seq = data::generate_evolving(data::find_evolving("advect"), 2048, 20);
+  const auto cfg = config_for(seq, EbType::ABS, 1e-3, 8);
+  TempFile tf;
+  {
+    temporal::StreamWriter w(tf.path, cfg);
+    temporal::FrameEncoder enc(cfg);
+    for (std::size_t t = 0; t < seq.frames(); ++t)
+      w.append(enc.encode(seq.frame(t), t));
+    w.finish();
+  }
+  temporal::StreamReader r(tf.path);
+  EXPECT_FALSE(r.truncated());
+  ASSERT_EQ(r.frame_count(), 20u);
+  EXPECT_EQ(r.config().dtype, cfg.dtype);
+  EXPECT_EQ(r.config().dims, cfg.dims);
+  // Keyframes at 0, 8, 16 — plus any audit fallbacks, so >= 3.
+  ASSERT_GE(r.keyframes().size(), 3u);
+  EXPECT_EQ(r.keyframes()[0].frame_index, 0u);
+  // Decoding straight out of the container matches the closed loop.
+  temporal::FrameDecoder dec(cfg);
+  for (std::size_t t = 0; t < r.frame_count(); ++t) {
+    const temporal::EncodedFrame ef = r.frame(t);
+    EXPECT_EQ(ef.frame_index, t);
+    EXPECT_EQ(audit_frame(cfg, frame_bytes(seq, t), dec.decode(ef).data()), 0u);
+  }
+}
+
+TEST(Pfpv, TornTailRecoversCompletePrefix) {
+  const auto seq = data::generate_evolving(data::find_evolving("advect"), 2048, 12);
+  const auto cfg = config_for(seq, EbType::ABS, 1e-3, 4);
+  TempFile tf;
+  std::vector<u64> record_ends;
+  {
+    temporal::StreamWriter w(tf.path, cfg);
+    temporal::FrameEncoder enc(cfg);
+    for (std::size_t t = 0; t < seq.frames(); ++t) {
+      w.append(enc.encode(seq.frame(t), t));
+      record_ends.push_back(w.bytes_written());
+    }
+    // No finish(): simulates a process killed mid-stream (no index/footer).
+  }
+  // Chop mid-record: keep 7 complete records plus half of the 8th.
+  const u64 cut = (record_ends[6] + record_ends[7]) / 2;
+  fs::resize_file(tf.path, cut);
+  temporal::StreamReader r(tf.path);
+  EXPECT_TRUE(r.truncated());
+  EXPECT_EQ(r.frame_count(), 7u);
+  EXPECT_EQ(r.truncated_bytes(), cut - record_ends[6]);
+  ASSERT_FALSE(r.keyframes().empty());
+  temporal::FrameDecoder dec(cfg);
+  for (std::size_t t = 0; t < r.frame_count(); ++t)
+    EXPECT_EQ(audit_frame(cfg, frame_bytes(seq, t), dec.decode(r.frame(t)).data()),
+              0u);
+}
+
+TEST(Pfpv, CorruptRecordEndsTheRecoverableStream) {
+  const auto seq = data::generate_evolving(data::find_evolving("advect"), 2048, 6);
+  const auto cfg = config_for(seq, EbType::ABS, 1e-3, 4);
+  TempFile tf;
+  std::vector<u64> record_ends;
+  {
+    temporal::StreamWriter w(tf.path, cfg);
+    temporal::FrameEncoder enc(cfg);
+    for (std::size_t t = 0; t < seq.frames(); ++t) {
+      w.append(enc.encode(seq.frame(t), t));
+      record_ends.push_back(w.bytes_written());
+    }
+  }
+  // Flip a payload byte inside record 3 and drop the trailer so the reader
+  // must scan. The CRC mismatch must end the stream at record 3, not serve
+  // corrupt frame data.
+  Bytes data = io::read_file(tf.path);
+  data.resize(record_ends.back());  // strip index + footer
+  data[record_ends[2] + temporal::kPfpvRecordHeaderSize + 5] ^= 0xFF;
+  temporal::StreamReader r(data);
+  EXPECT_TRUE(r.truncated());
+  EXPECT_EQ(r.frame_count(), 3u);
+}
+
+TEST(Pfpv, GarbageHeaderIsRejected) {
+  Bytes junk(128, 0x5A);
+  EXPECT_THROW(temporal::StreamReader{junk}, CompressionError);
+  Bytes tiny(8, 0);
+  EXPECT_THROW(temporal::StreamReader{tiny}, CompressionError);
+}
+
+// ---------------------------------------------------------------------------
+// PFPN stream sessions (server lifecycle)
+
+TEST(StreamSession, RemoteFramesMatchLocalEncoder) {
+  const auto seq = data::generate_evolving(data::find_evolving("advect"), 2048, 10);
+  const auto cfg = config_for(seq, EbType::ABS, 1e-3, 4);
+  TestServer ts;
+  net::Client client(ts.client_options());
+  const u64 sid =
+      client.stream_open(cfg.dtype, cfg.eb, cfg.eps, cfg.dims, cfg.keyframe_interval);
+  temporal::FrameDecoder dec(cfg);
+  u64 iframes = 0;
+  const std::size_t nbytes = cfg.frame_bytes();
+  for (std::size_t t = 0; t < seq.frames(); ++t) {
+    const Bytes record = client.stream_frame(sid, t, frame_bytes(seq, t), nbytes);
+    temporal::EncodedFrame ef;
+    ASSERT_EQ(temporal::decode_frame_record(record.data(), record.size(), ef),
+              record.size());
+    EXPECT_EQ(ef.frame_index, t);
+    if (ef.type == temporal::FrameType::Intra) ++iframes;
+    EXPECT_EQ(audit_frame(cfg, frame_bytes(seq, t), dec.decode(ef).data()), 0u)
+        << "frame " << t;
+  }
+  EXPECT_GE(iframes, 3u);  // keyframe_interval 4 over 10 frames
+  client.stream_close(sid);
+  client.stream_close(sid);  // idempotent
+  const auto st = ts.server.stats();
+  EXPECT_EQ(st.sessions_opened, 1u);
+  EXPECT_EQ(st.sessions_closed, 1u);
+  EXPECT_EQ(st.sessions_current, 0u);
+  EXPECT_EQ(st.stream_frames, 10u);
+}
+
+TEST(StreamSession, FreshSessionAcceptsAnyFirstIndexThenEnforcesOrder) {
+  // The reconnect-resume contract: a client whose session died mid-stream
+  // re-opens and continues its own frame numbering, so a fresh session must
+  // accept an arbitrary first index (answering with a keyframe) — but stays
+  // strictly sequential afterwards.
+  TestServer ts;
+  net::Client client(ts.client_options());
+  const std::array<u32, 3> dims{1, 16, 16};
+  std::vector<float> frame(16 * 16, 3.0f);
+  const u64 sid = client.stream_open(DType::F32, EbType::ABS, 1e-3, dims, 16);
+  const Bytes rec = client.stream_frame(sid, 7, frame.data(),
+                                        frame.size() * sizeof(float));
+  temporal::EncodedFrame ef;
+  ASSERT_EQ(temporal::decode_frame_record(rec.data(), rec.size(), ef), rec.size());
+  EXPECT_EQ(ef.frame_index, 7u);
+  EXPECT_EQ(ef.type, temporal::FrameType::Intra);
+  EXPECT_THROW(
+      (void)client.stream_frame(sid, 9, frame.data(), frame.size() * sizeof(float)),
+      net::RemoteError);
+  (void)client.stream_frame(sid, 8, frame.data(), frame.size() * sizeof(float));
+  client.stream_close(sid);
+}
+
+TEST(StreamSession, IdleSessionsAreEvictedAndGetBadSession) {
+  net::Server::Options opts;
+  opts.session_idle_ms = 100;
+  TestServer ts(opts);
+  net::Client client(ts.client_options());
+  const std::array<u32, 3> dims{1, 16, 16};
+  const u64 sid = client.stream_open(DType::F32, EbType::ABS, 1e-3, dims, 16);
+  std::vector<float> frame(16 * 16, 1.0f);
+  (void)client.stream_frame(sid, 0, frame.data(), frame.size() * sizeof(float));
+  // The sweep runs on the poll loop at most every 500 ms; wait past idle +
+  // sweep cadence, then poke the loop so the sweep actually fires.
+  std::this_thread::sleep_for(std::chrono::milliseconds(700));
+  bool evicted = false;
+  for (int i = 0; i < 20 && !evicted; ++i) {
+    try {
+      (void)client.stream_frame(sid, 1, frame.data(), frame.size() * sizeof(float));
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    } catch (const net::RemoteError& e) {
+      EXPECT_EQ(e.status(), static_cast<u16>(net::Status::BadSession));
+      evicted = true;
+    }
+  }
+  EXPECT_TRUE(evicted) << "idle session was never evicted";
+  EXPECT_GE(ts.server.stats().sessions_evicted, 1u);
+  EXPECT_EQ(ts.server.stats().sessions_current, 0u);
+}
+
+TEST(StreamSession, SessionCapRefusesWithSessionLimit) {
+  net::Server::Options opts;
+  opts.max_sessions = 1;
+  TestServer ts(opts);
+  net::Client client(ts.client_options());
+  const std::array<u32, 3> dims{1, 8, 8};
+  const u64 sid = client.stream_open(DType::F32, EbType::ABS, 1e-3, dims, 16);
+  try {
+    (void)client.stream_open(DType::F32, EbType::ABS, 1e-3, dims, 16);
+    FAIL() << "second STREAM_OPEN should exceed max_sessions=1";
+  } catch (const net::RemoteError& e) {
+    EXPECT_EQ(e.status(), static_cast<u16>(net::Status::SessionLimit));
+  }
+  client.stream_close(sid);
+  // Slot freed: a new session opens fine.
+  const u64 sid2 = client.stream_open(DType::F32, EbType::ABS, 1e-3, dims, 16);
+  client.stream_close(sid2);
+}
+
+TEST(StreamSession, DrainKillsOpenSessions) {
+  TestServer ts;
+  net::Client client(ts.client_options());
+  const std::array<u32, 3> dims{1, 8, 8};
+  std::vector<float> frame(8 * 8, 2.0f);
+  const u64 sid = client.stream_open(DType::F32, EbType::ABS, 1e-3, dims, 16);
+  (void)client.stream_frame(sid, 0, frame.data(), frame.size() * sizeof(float));
+  ts.stop();  // graceful drain
+  const auto st = ts.server.stats();
+  EXPECT_EQ(st.sessions_opened, 1u);
+  EXPECT_GE(st.sessions_evicted, 1u) << "drain must kill live sessions";
+  EXPECT_EQ(st.sessions_current, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Cluster client background refresh (satellite)
+
+TEST(ClusterRefresh, BackgroundTimerRefreshesTheMap) {
+  net::Server::Options so;
+  auto server = std::make_unique<net::Server>(so);
+  std::vector<cluster::NodeInfo> nodes{{"n0", "127.0.0.1", server->port()}};
+  cluster::ShardMap map("test", std::move(nodes),
+                        cluster::ShardMap::kDefaultVnodes, 1);
+  server->set_cluster(map, "n0");
+  std::thread run([&] { server->run(); });
+  {
+    cluster::ClusterClient::Options co;
+    co.map = map;
+    co.refresh_interval_ms = 50;
+    cluster::ClusterClient cc(co);
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(5);
+    while (cc.stats().background_refreshes == 0 &&
+           std::chrono::steady_clock::now() < deadline)
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    EXPECT_GT(cc.stats().background_refreshes, 0u);
+    EXPECT_EQ(cc.map().epoch(), map.epoch());
+  }  // destructor must stop + join the refresher without hanging
+  server->request_stop();
+  run.join();
+}
+
+}  // namespace
